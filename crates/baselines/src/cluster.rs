@@ -1,0 +1,103 @@
+//! H100 cluster scaling for the TCO comparison (Appendix B).
+
+use crate::h100::H100;
+
+/// An H100 serving cluster of HGX nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct H100Cluster {
+    /// Total GPUs.
+    pub gpus: u32,
+    /// GPUs per HGX node.
+    pub gpus_per_node: u32,
+    /// Node price including server, intra-node networking, 3-year warranty
+    /// (Appendix B: $320 K per 8-GPU HGX platform).
+    pub node_price_usd: f64,
+    /// Node wall power under inference load, watts.
+    pub node_power_w: f64,
+    /// Facility power-usage effectiveness.
+    pub pue: f64,
+    /// The device model.
+    pub device: H100,
+}
+
+impl H100Cluster {
+    /// A cluster of `gpus` H100s at the paper's anchors.
+    ///
+    /// Node power is set so 250 nodes draw the paper's 3.64 MW facility
+    /// figure at PUE 1.4 (≈10.4 kW per node).
+    pub fn new(gpus: u32) -> Self {
+        H100Cluster {
+            gpus,
+            gpus_per_node: 8,
+            node_price_usd: 320_000.0,
+            node_power_w: 10_400.0,
+            pue: 1.4,
+            device: H100::paper(),
+        }
+    }
+
+    /// GPUs needed to match `tokens_per_s` at the distributed per-GPU rate.
+    pub fn gpus_for_throughput(tokens_per_s: f64) -> u32 {
+        (tokens_per_s / H100::paper().distributed_tokens_per_s).ceil() as u32
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> u32 {
+        self.gpus.div_ceil(self.gpus_per_node)
+    }
+
+    /// Cluster hardware price.
+    pub fn hardware_usd(&self) -> f64 {
+        self.nodes() as f64 * self.node_price_usd
+    }
+
+    /// IT (critical) power, watts.
+    pub fn it_power_w(&self) -> f64 {
+        self.nodes() as f64 * self.node_power_w
+    }
+
+    /// Facility power including PUE, watts.
+    pub fn facility_power_w(&self) -> f64 {
+        self.it_power_w() * self.pue
+    }
+
+    /// Aggregate decode throughput at the distributed per-GPU anchor.
+    pub fn throughput_tokens_per_s(&self) -> f64 {
+        self.gpus as f64 * self.device.distributed_tokens_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_thousand_gpus_match_one_hnlpu() {
+        // Appendix B note 1: one HNLPU (~2M tokens/s under the TCO
+        // workload) ≙ ~2,000 H100s at 1.08K tokens/s each.
+        assert_eq!(H100Cluster::gpus_for_throughput(2.0e6), 1852);
+        assert_eq!(H100Cluster::gpus_for_throughput(2.16e6), 2000);
+    }
+
+    #[test]
+    fn facility_power_anchor() {
+        // 2,000 GPUs = 250 nodes -> 3.64 MW at PUE 1.4.
+        let c = H100Cluster::new(2000);
+        assert_eq!(c.nodes(), 250);
+        assert!((c.facility_power_w() - 3.64e6).abs() / 3.64e6 < 0.01);
+    }
+
+    #[test]
+    fn hardware_price_anchor() {
+        // 250 nodes x $320K = $80M (Table 3 "H100 Node Price" low volume).
+        let c = H100Cluster::new(2000);
+        assert!((c.hardware_usd() - 80.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn throughput_scales_with_gpus() {
+        let small = H100Cluster::new(1000).throughput_tokens_per_s();
+        let big = H100Cluster::new(2000).throughput_tokens_per_s();
+        assert!((big / small - 2.0).abs() < 1e-9);
+    }
+}

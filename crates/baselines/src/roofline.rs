@@ -1,0 +1,93 @@
+//! Autoregressive-decode roofline.
+//!
+//! Decode has ~1 op of arithmetic intensity (§9): every step refetches the
+//! active parameters, so throughput is bounded by
+//! `memory_bandwidth / active_bytes`, scaled by an achieved-bandwidth
+//! fraction (MBU) that captures software and batching reality.
+
+use hnlpu_model::zoo::ModelCard;
+
+/// Inputs to the decode roofline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflineInput {
+    /// Device memory bandwidth, bytes/s.
+    pub mem_bw_bytes_per_s: f64,
+    /// Achieved-bandwidth fraction (0..=1].
+    pub mbu: f64,
+    /// Concurrent sequences sharing one weight sweep.
+    pub batch: u32,
+}
+
+/// Decode throughput upper bound for `card` on the device, tokens/s.
+///
+/// # Panics
+///
+/// Panics if `mbu` is outside `(0, 1]` or `batch == 0`.
+pub fn decode_roofline_tokens_per_s(card: &ModelCard, input: RooflineInput) -> f64 {
+    assert!(input.mbu > 0.0 && input.mbu <= 1.0, "mbu out of range");
+    assert!(input.batch > 0, "batch must be positive");
+    let active_bytes =
+        card.config.active_params_per_token() as f64 * card.precision.bits() as f64 / 8.0;
+    input.mem_bw_bytes_per_s * input.mbu / active_bytes * input.batch as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnlpu_model::zoo;
+
+    #[test]
+    fn gpt_oss_ideal_single_stream_on_h100() {
+        // 3.35 TB/s over ~2.6 GB of active FP4 weights: ~1.3k tokens/s
+        // at perfect MBU — the measured 45 tokens/s implies the single-
+        // digit-percent MBU interactive serving actually achieves.
+        let t = decode_roofline_tokens_per_s(
+            &zoo::gpt_oss_120b(),
+            RooflineInput {
+                mem_bw_bytes_per_s: 3.35e12,
+                mbu: 1.0,
+                batch: 1,
+            },
+        );
+        assert!(t > 800.0 && t < 2000.0, "roofline = {t:.0}");
+    }
+
+    #[test]
+    fn batch_scales_linearly() {
+        let base = RooflineInput {
+            mem_bw_bytes_per_s: 3.35e12,
+            mbu: 0.5,
+            batch: 1,
+        };
+        let one = decode_roofline_tokens_per_s(&zoo::gpt_oss_120b(), base);
+        let fifty =
+            decode_roofline_tokens_per_s(&zoo::gpt_oss_120b(), RooflineInput { batch: 50, ..base });
+        assert!((fifty / one - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn denser_models_decode_faster() {
+        let input = RooflineInput {
+            mem_bw_bytes_per_s: 3.35e12,
+            mbu: 0.5,
+            batch: 1,
+        };
+        let moe = decode_roofline_tokens_per_s(&zoo::gpt_oss_120b(), input);
+        let dense = decode_roofline_tokens_per_s(&zoo::qwq_32b(), input);
+        // gpt-oss activates fewer bytes than a dense FP16 32B model.
+        assert!(moe > dense);
+    }
+
+    #[test]
+    #[should_panic(expected = "mbu out of range")]
+    fn mbu_validated() {
+        decode_roofline_tokens_per_s(
+            &zoo::gpt_oss_120b(),
+            RooflineInput {
+                mem_bw_bytes_per_s: 1e12,
+                mbu: 1.5,
+                batch: 1,
+            },
+        );
+    }
+}

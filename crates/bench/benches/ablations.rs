@@ -1,0 +1,184 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! the ME scan factor (area-vs-latency), the CXL link parameters
+//! (the §8 interconnect-bottleneck discussion), the provisioning slack,
+//! and batch scaling through the continuous-batching scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnlpu::circuit::TechNode;
+use hnlpu::embed::array::{me_neuron_budget, HnArrayPlan, MeNeuronParams};
+use hnlpu::model::zoo;
+use hnlpu::sim::{pipeline, BatchScheduler, PacketSim, SimConfig, WorkloadKind, WorkloadSpec};
+
+fn scan_factor_ablation(c: &mut Criterion) {
+    let cfg = zoo::gpt_oss_120b().config;
+    let tech = TechNode::n5();
+    println!("\n=== ablation: ME scan factor (area vs projection latency) ===");
+    println!("{:>6} {:>14} {:>10}", "scan", "HN array mm²", "proj cyc");
+    let mut g = c.benchmark_group("ablation/scan_factor");
+    g.sample_size(10);
+    for scan in [1u32, 4, 10, 16] {
+        let mut p = MeNeuronParams::array_default();
+        p.scan_factor = scan;
+        let plan = HnArrayPlan::plan(&cfg, 16, p);
+        println!(
+            "{:>6} {:>14.1} {:>10}",
+            scan,
+            plan.area_mm2(&tech),
+            plan.projection_cycles()
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(scan), &p, |b, &p| {
+            b.iter(|| HnArrayPlan::plan(std::hint::black_box(&cfg), 16, p))
+        });
+    }
+    g.finish();
+}
+
+fn slack_ablation(c: &mut Criterion) {
+    println!("\n=== ablation: POPCNT provisioning slack (per-neuron transistors) ===");
+    println!("{:>6} {:>14}", "slack", "Tr per weight");
+    let mut g = c.benchmark_group("ablation/slack");
+    for slack in [1.0f64, 1.25, 1.5, 2.0] {
+        let mut p = MeNeuronParams::array_default();
+        p.slack = slack;
+        let b0 = me_neuron_budget(2880, &p);
+        println!(
+            "{:>6.2} {:>14.2}",
+            slack,
+            b0.transistor_count() as f64 / 2880.0
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{slack:.2}")),
+            &p,
+            |b, p| b.iter(|| me_neuron_budget(std::hint::black_box(2880), p)),
+        );
+    }
+    g.finish();
+}
+
+fn interconnect_ablation(c: &mut Criterion) {
+    println!("\n=== ablation: interconnect (the §8 wafer-scale discussion) ===");
+    println!("{:>22} {:>16}", "link", "decode tokens/s");
+    let mut g = c.benchmark_group("ablation/interconnect");
+    let variants: [(&str, f64, f64, f64); 4] = [
+        ("CXL 3.0 (paper)", 100.0, 190.0, 128e9),
+        ("NVLink-class", 50.0, 60.0, 450e9),
+        ("wafer-scale", 10.0, 10.0, 2e12),
+        ("ethernet-ish", 1000.0, 2000.0, 50e9),
+    ];
+    for (name, lat, proto, bw) in variants {
+        let mut cfg = SimConfig::paper_default();
+        cfg.cxl.latency_ns = lat;
+        cfg.cxl.protocol_ns = proto;
+        cfg.cxl.bandwidth_bytes_per_s = bw;
+        println!(
+            "{:>22} {:>16.0}",
+            name,
+            pipeline::decode_throughput(&cfg, 2048)
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| pipeline::decode_throughput(std::hint::black_box(cfg), 2048))
+        });
+    }
+    g.finish();
+}
+
+fn scheduler_scaling(c: &mut Criterion) {
+    println!("\n=== ablation: workload mixes through continuous batching ===");
+    let mut g = c.benchmark_group("ablation/scheduler");
+    g.sample_size(10);
+    for kind in [
+        WorkloadKind::Chat,
+        WorkloadKind::RagLongContext,
+        WorkloadKind::OfflineBatch,
+    ] {
+        let spec = WorkloadSpec {
+            kind,
+            requests: 500,
+            arrivals_per_s: 800.0,
+            seed: 9,
+        };
+        let reqs = spec.generate();
+        let sched = BatchScheduler::new(SimConfig::paper_default(), spec.nominal_context());
+        let rep = sched.run(&reqs);
+        println!(
+            "{:>16?}: {:>12.0} tokens/s at occupancy {:.2}",
+            kind, rep.throughput_tokens_per_s, rep.mean_occupancy
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &reqs,
+            |b, reqs| b.iter(|| sched.run(std::hint::black_box(reqs))),
+        );
+    }
+    g.finish();
+}
+
+fn precision_ablation(c: &mut Criterion) {
+    use hnlpu::embed::precision_sweep;
+    println!("\n=== ablation: weight precision (ME regions = 2^bits) ===");
+    println!("{:>6} {:>9} {:>16}", "bits", "regions", "Tr per weight");
+    let p = MeNeuronParams::array_default();
+    for pt in precision_sweep(&p) {
+        println!(
+            "{:>6} {:>9} {:>16.1}",
+            pt.weight_bits, pt.regions, pt.transistors_per_weight
+        );
+    }
+    c.bench_function("ablation/precision_sweep", |b| {
+        b.iter(|| precision_sweep(std::hint::black_box(&p)))
+    });
+}
+
+fn kv_precision_ablation(c: &mut Criterion) {
+    use hnlpu::sim::Breakdown;
+    println!("\n=== ablation: KV precision (stall onset vs bytes/token) ===");
+    for (label, bytes) in [("fp8 KV (paper)", 256u64), ("fp16 KV", 512)] {
+        let mut cfg = SimConfig::paper_default();
+        cfg.kv_bytes_per_token_layer_chip = bytes;
+        let b256 = Breakdown::at(&cfg, 262_144);
+        let b512 = Breakdown::at(&cfg, 524_288);
+        println!(
+            "{label}: stall share 256K = {:.1}%, 512K = {:.1}%",
+            b256.shares[4], b512.shares[4]
+        );
+    }
+    let cfg = SimConfig::paper_default();
+    c.bench_function("ablation/kv_breakdown", |b| {
+        b.iter(|| Breakdown::at(std::hint::black_box(&cfg), 524_288))
+    });
+}
+
+fn packet_vs_analytical(c: &mut Criterion) {
+    println!("\n=== packet-level DES vs analytical model ===");
+    let cfg = SimConfig::paper_default();
+    for ctx in [2048u64, 65_536, 262_144] {
+        let analytical = pipeline::decode_throughput(&cfg, ctx);
+        let des = PacketSim::new(cfg.clone(), ctx).steady_state_throughput(200);
+        println!(
+            "ctx {:>7}: analytical {:>10.0}  DES {:>10.0}  ratio {:.3}",
+            ctx,
+            analytical,
+            des,
+            des / analytical
+        );
+    }
+    let mut g = c.benchmark_group("ablation/packet_sim");
+    g.sample_size(10);
+    g.bench_function("des_200_tokens_2k", |b| {
+        let sim = PacketSim::new(SimConfig::paper_default(), 2048);
+        b.iter(|| sim.run(std::hint::black_box(200)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    scan_factor_ablation,
+    slack_ablation,
+    precision_ablation,
+    kv_precision_ablation,
+    interconnect_ablation,
+    scheduler_scaling,
+    packet_vs_analytical
+);
+criterion_main!(benches);

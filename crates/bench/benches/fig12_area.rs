@@ -1,0 +1,28 @@
+//! FIG12 — embedding-methodology area comparison (CE 14.3x / SRAM 1x /
+//! ME 0.95x), regenerated and benchmarked per methodology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnlpu::circuit::TechNode;
+use hnlpu::embed::{TileDesign, TileMethod};
+use hnlpu::experiments;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig12().render_markdown());
+    let tech = TechNode::n5();
+    let mut g = c.benchmark_group("fig12/tile_area");
+    for method in [
+        TileMethod::MacArray,
+        TileMethod::CellEmbedding,
+        TileMethod::MetalEmbedding,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &method,
+            |b, &m| b.iter(|| TileDesign::paper(m).area_mm2(std::hint::black_box(&tech))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

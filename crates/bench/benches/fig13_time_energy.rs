@@ -1,0 +1,55 @@
+//! FIG13 — embedding-methodology execution cycles and energy, regenerated
+//! and benchmarked, including the bit-exact functional execution path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnlpu::circuit::TechNode;
+use hnlpu::embed::{TileDesign, TileMethod};
+use hnlpu::experiments;
+use hnlpu::model::Fp4;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig13().render_markdown());
+    let tech = TechNode::n5();
+    let mut g = c.benchmark_group("fig13/tile_energy");
+    for method in [
+        TileMethod::MacArray,
+        TileMethod::CellEmbedding,
+        TileMethod::MetalEmbedding,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &method,
+            |b, &m| b.iter(|| TileDesign::paper(m).energy_j(std::hint::black_box(&tech))),
+        );
+    }
+    g.finish();
+
+    // Functional GEMV through each methodology (a smaller tile so the
+    // bit-exact path stays fast).
+    let mut g = c.benchmark_group("fig13/functional_gemv_64x8");
+    g.sample_size(20);
+    let weights: Vec<Fp4> = (0..64 * 8)
+        .map(|i| Fp4::from_code((i % 16) as u8))
+        .collect();
+    let x: Vec<i32> = (0i32..64).map(|i| (i % 255) - 127).collect();
+    for method in [
+        TileMethod::MacArray,
+        TileMethod::CellEmbedding,
+        TileMethod::MetalEmbedding,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &method,
+            |b, &m| {
+                let mut d = TileDesign::paper(m);
+                d.rows = 64;
+                d.cols = 8;
+                b.iter(|| d.execute(std::hint::black_box(&weights), std::hint::black_box(&x)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

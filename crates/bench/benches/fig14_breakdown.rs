@@ -1,0 +1,21 @@
+//! FIG14 — execution-time breakdown across context lengths, regenerated and
+//! benchmarked per context point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnlpu::experiments;
+use hnlpu::sim::{Breakdown, SimConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig14().render_markdown());
+    let cfg = SimConfig::paper_default();
+    let mut g = c.benchmark_group("fig14/breakdown");
+    for ctx in [2048u64, 8192, 65_536, 131_072, 262_144, 524_288] {
+        g.bench_with_input(BenchmarkId::from_parameter(ctx), &ctx, |b, &ctx| {
+            b.iter(|| Breakdown::at(std::hint::black_box(&cfg), ctx))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

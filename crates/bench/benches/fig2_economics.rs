@@ -1,0 +1,19 @@
+//! FIG2 — the economics of hardwiring: regenerates the Figure 2 comparison
+//! (GPU mask amortization vs the $6 B straightforward hardwired LLM) and
+//! benchmarks the Sea-of-Neurons cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hnlpu::experiments;
+use hnlpu::litho::SeaOfNeurons;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig2().render_markdown());
+    c.bench_function("fig2/sea_of_neurons_plan", |b| {
+        let son = SeaOfNeurons::n5();
+        b.iter(|| son.plan(std::hint::black_box(16)).initial())
+    });
+    c.bench_function("fig2/full_report", |b| b.iter(experiments::fig2));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! TAB1 — single-chip area/power breakdown, regenerated and benchmarked
+//! (the full HN-array planning pass over all 36 layers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hnlpu::circuit::TechNode;
+use hnlpu::embed::array::{HnArrayPlan, MeNeuronParams};
+use hnlpu::embed::ChipReport;
+use hnlpu::experiments;
+use hnlpu::model::zoo;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::tab1().render_markdown());
+    let cfg = zoo::gpt_oss_120b().config;
+    let tech = TechNode::n5();
+    c.bench_function("tab1/hn_array_plan", |b| {
+        b.iter(|| {
+            HnArrayPlan::plan(
+                std::hint::black_box(&cfg),
+                16,
+                MeNeuronParams::array_default(),
+            )
+        })
+    });
+    c.bench_function("tab1/chip_report", |b| {
+        b.iter(|| ChipReport::paper(std::hint::black_box(&cfg), &tech))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! TAB2 — system-level performance comparison, regenerated and benchmarked
+//! (full system design + the cycle-level throughput model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hnlpu::experiments;
+use hnlpu::model::zoo;
+use hnlpu::HnlpuSystem;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::tab2().render_markdown());
+    c.bench_function("tab2/design_full_system", |b| {
+        b.iter(|| HnlpuSystem::design(std::hint::black_box(zoo::gpt_oss_120b())))
+    });
+    let system = HnlpuSystem::design(zoo::gpt_oss_120b());
+    c.bench_function("tab2/decode_throughput", |b| {
+        b.iter(|| system.decode_throughput(std::hint::black_box(2048)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! TAB3 — 3-year TCO and carbon analysis, regenerated and benchmarked at
+//! both deployment scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnlpu::experiments;
+use hnlpu::tco::{DeploymentScale, Table3};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::tab3().render_markdown());
+    let mut g = c.benchmark_group("tab3/tco");
+    for (scale, name) in [
+        (DeploymentScale::Low, "low"),
+        (DeploymentScale::High, "high"),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &scale, |b, &s| {
+            b.iter(|| Table3::paper(std::hint::black_box(s)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

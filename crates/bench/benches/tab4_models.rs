@@ -1,0 +1,21 @@
+//! TAB4 — chip NRE prices across the model zoo, regenerated and benchmarked
+//! per model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnlpu::experiments;
+use hnlpu::litho::nre::model_nre_price;
+use hnlpu::model::zoo;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::tab4().render_markdown());
+    let mut g = c.benchmark_group("tab4/model_nre");
+    for card in zoo::all_models() {
+        g.bench_with_input(BenchmarkId::from_parameter(card.name), &card, |b, card| {
+            b.iter(|| model_nre_price(std::hint::black_box(card)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! TAB5 — the HNLPU cost breakdown (masks, wafers, design, build/re-spin
+//! scenarios), regenerated and benchmarked, plus the headline §3 claims.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hnlpu::experiments;
+use hnlpu::litho::nre::{NreScenario, NreSummary};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::tab5().render_markdown());
+    println!("{}", experiments::claims().render_markdown());
+    println!("{}", experiments::signoff_report().render_markdown());
+    c.bench_function("tab5/nre_scenario", |b| {
+        b.iter(|| NreSummary::price(std::hint::black_box(NreScenario::gpt_oss(50))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Benchmark host crate. All benches live in `benches/`.

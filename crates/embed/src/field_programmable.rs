@@ -1,0 +1,122 @@
+//! The field-programmable HN side-channel (§8 future work 4).
+//!
+//! LoRA-style post-deployment updates need ~1% of the array's capacity in
+//! *conventional* (SRAM-weighted) MAC lanes: rank-r adapters computing
+//! `scale · (x·A)·B` beside the hardwired projections. This module sizes
+//! that side-channel — lanes, adapter SRAM, area, and power — so the chip
+//! report and the functional `hnlpu_llm::LoraAdapter` stay consistent.
+
+use hnlpu_arith::neuron::MacArray;
+use hnlpu_arith::GateBudget;
+use hnlpu_circuit::power::{block_power, SwitchingActivity};
+use hnlpu_circuit::{logic_area_mm2, sram_macro, TechNode};
+use hnlpu_model::TransformerConfig;
+
+/// A planned side-channel for rank-`rank` adapters on every layer's query
+/// projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SideChannelPlan {
+    /// Adapter rank.
+    pub rank: usize,
+    /// Adapter parameters stored per chip (fp16 SRAM).
+    pub adapter_params_per_chip: u64,
+    /// MAC lanes provisioned per chip.
+    pub mac_lanes: u32,
+    /// Gate budget of the lanes.
+    pub budget: GateBudget,
+}
+
+impl SideChannelPlan {
+    /// Plan a side-channel for `cfg` split over `num_chips` chips.
+    ///
+    /// Sizing: the adapter matmuls (`x·A`: hidden×rank, then `·B`:
+    /// rank×q_width) must finish within one projection interval
+    /// (~135 cycles), so lanes ≈ adapter MACs / interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank == 0` or `num_chips == 0`.
+    pub fn plan(cfg: &TransformerConfig, num_chips: u32, rank: usize) -> Self {
+        assert!(rank > 0, "rank must be positive");
+        assert!(num_chips > 0, "need at least one chip");
+        let h = cfg.hidden_size as u64;
+        let q = cfg.attention.q_width() as u64;
+        let params_per_layer = (h + q) * rank as u64;
+        let adapter_params_per_chip = params_per_layer * cfg.num_layers as u64 / num_chips as u64;
+        // MACs per adapter application, amortized per chip per interval.
+        let macs = params_per_layer / num_chips as u64;
+        let interval = 135u64;
+        let mac_lanes = (macs.div_ceil(interval) as u32).max(8);
+        let budget = MacArray::new(mac_lanes as usize, 16).budget();
+        SideChannelPlan {
+            rank,
+            adapter_params_per_chip,
+            mac_lanes,
+            budget,
+        }
+    }
+
+    /// Side-channel silicon area per chip (lanes + adapter SRAM), mm².
+    pub fn area_mm2(&self, tech: &TechNode) -> f64 {
+        let lanes = logic_area_mm2(&self.budget, tech, false);
+        let sram = sram_macro(self.adapter_params_per_chip * 2).area_mm2(tech);
+        lanes + sram
+    }
+
+    /// Side-channel power per chip, watts.
+    pub fn power_w(&self, tech: &TechNode) -> f64 {
+        block_power(&self.budget, tech, SwitchingActivity::uniform(0.3)).total_w()
+    }
+
+    /// Overhead relative to a hardwired-array area (the paper's "~1%"
+    /// budget is on capability, i.e. adapter params vs hardwired params).
+    pub fn param_overhead_fraction(&self, cfg: &TransformerConfig, num_chips: u32) -> f64 {
+        let hardwired_per_chip = (cfg.total_params() - cfg.embedding_params()) / num_chips as u64;
+        self.adapter_params_per_chip as f64 / hardwired_per_chip as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnlpu_model::zoo;
+
+    fn plan(rank: usize) -> SideChannelPlan {
+        SideChannelPlan::plan(&zoo::gpt_oss_120b().config, 16, rank)
+    }
+
+    #[test]
+    fn rank_16_is_well_under_one_percent_of_capability() {
+        let cfg = zoo::gpt_oss_120b().config;
+        let p = plan(16);
+        let f = p.param_overhead_fraction(&cfg, 16);
+        assert!(f < 0.01, "param overhead = {f}");
+    }
+
+    #[test]
+    fn area_overhead_is_tiny() {
+        // The side-channel must cost well under 1% of the 573 mm² array.
+        let p = plan(16);
+        let area = p.area_mm2(&TechNode::n5());
+        assert!(area < 5.0, "side-channel area = {area:.3} mm²");
+    }
+
+    #[test]
+    fn power_overhead_is_tiny() {
+        let p = plan(16);
+        assert!(p.power_w(&TechNode::n5()) < 2.0);
+    }
+
+    #[test]
+    fn lanes_scale_with_rank() {
+        assert!(plan(64).mac_lanes > plan(8).mac_lanes);
+        assert!(plan(64).adapter_params_per_chip > plan(8).adapter_params_per_chip);
+    }
+
+    #[test]
+    fn adapter_params_accounting() {
+        // rank 16 on Wq: (2880 + 4096) * 16 * 36 layers / 16 chips.
+        let p = plan(16);
+        assert_eq!(p.adapter_params_per_chip, (2880 + 4096) * 16 * 36 / 16);
+    }
+}

@@ -1,0 +1,203 @@
+//! Whole-model Metal-Embedding compilation (§8 future work 2: "an
+//! automated Hardwired-Neuron Compiler for shortening the delay in the
+//! design flow").
+//!
+//! Small models compile exhaustively; production-scale models (117 B
+//! weights would mean ~10¹¹ nets) are *surveyed*: every distinct matrix
+//! shape is compiled once per kind and the structural statistics are
+//! extrapolated exactly (wire counts and lengths are deterministic
+//! functions of shape, and slice allocations depend only on per-neuron
+//! histograms whose distribution the survey covers).
+
+use crate::compiler::{CompileError, MeCompiler};
+use hnlpu_model::{TransformerConfig, WeightGenerator, WeightMatrix};
+use std::collections::BTreeMap;
+
+/// Aggregate compilation statistics for a whole model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCompileSummary {
+    /// Matrices actually pushed through the compiler.
+    pub matrices_compiled: usize,
+    /// Matrices covered by extrapolation from an identically-shaped sample.
+    pub matrices_extrapolated: usize,
+    /// Total embedding wires across the model (one per hardwired weight).
+    pub total_wires: u64,
+    /// Total embedding wirelength, µm.
+    pub total_wirelength_um: f64,
+    /// Worst per-layer routing utilization observed.
+    pub worst_peak_utilization: f64,
+    /// Total grounded slack ports across compiled matrices (extrapolated).
+    pub grounded_ports: u64,
+}
+
+/// The model-level compiler driver.
+#[derive(Debug, Clone)]
+pub struct ModelCompiler {
+    /// The per-matrix compiler in use.
+    pub compiler: MeCompiler,
+}
+
+impl ModelCompiler {
+    /// Wrap a matrix compiler.
+    pub fn new(compiler: MeCompiler) -> Self {
+        ModelCompiler { compiler }
+    }
+
+    /// Compile (or survey) every matrix of one layer of `cfg`, then scale
+    /// to all layers. Matrices sharing a shape are compiled once per kind
+    /// and extrapolated; expert matrices sample `expert_samples` experts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CompileError`] (a failing shape fails the
+    /// whole model — exactly what a real tapeout flow would do).
+    pub fn survey(
+        &self,
+        cfg: &TransformerConfig,
+        gen: &WeightGenerator,
+        expert_samples: usize,
+    ) -> Result<ModelCompileSummary, CompileError> {
+        let matrices = cfg.layer_matrices();
+        // Group by (kind discriminant excluding expert index, shape).
+        let mut groups: BTreeMap<(u8, usize, usize), Vec<WeightMatrix>> = BTreeMap::new();
+        for m in matrices {
+            let tag = match m.kind {
+                hnlpu_model::WeightKind::Query => 0u8,
+                hnlpu_model::WeightKind::Key => 1,
+                hnlpu_model::WeightKind::Value => 2,
+                hnlpu_model::WeightKind::Output => 3,
+                hnlpu_model::WeightKind::Router => 4,
+                hnlpu_model::WeightKind::ExpertUp { .. } => 5,
+                hnlpu_model::WeightKind::ExpertGate { .. } => 6,
+                hnlpu_model::WeightKind::ExpertDown { .. } => 7,
+            };
+            groups.entry((tag, m.rows, m.cols)).or_default().push(m);
+        }
+
+        let mut summary = ModelCompileSummary {
+            matrices_compiled: 0,
+            matrices_extrapolated: 0,
+            total_wires: 0,
+            total_wirelength_um: 0.0,
+            worst_peak_utilization: 0.0,
+            grounded_ports: 0,
+        };
+        for ((tag, _, _), members) in &groups {
+            let samples = if *tag >= 5 {
+                expert_samples.min(members.len())
+            } else {
+                1
+            };
+            let mut sampled_wires = 0u64;
+            let mut sampled_len = 0.0f64;
+            let mut sampled_grounded = 0u64;
+            for m in members.iter().take(samples) {
+                let compiled = self.compiler.compile(gen, 0, m)?;
+                summary.matrices_compiled += 1;
+                sampled_wires += compiled.wires;
+                sampled_len += compiled.avg_net_length_um * compiled.wires as f64;
+                sampled_grounded += compiled.grounded_ports;
+                summary.worst_peak_utilization = summary
+                    .worst_peak_utilization
+                    .max(compiled.route.peak_utilization);
+            }
+            // Extrapolate the group's remaining members (identical shape —
+            // identical wire count, statistically identical length/slack).
+            let scale = members.len() as f64 / samples as f64;
+            summary.matrices_extrapolated += members.len() - samples;
+            summary.total_wires += (sampled_wires as f64 * scale) as u64;
+            summary.total_wirelength_um += sampled_len * scale;
+            summary.grounded_ports += (sampled_grounded as f64 * scale) as u64;
+        }
+        // Scale one layer to all layers.
+        let layers = cfg.num_layers as f64;
+        summary.total_wires = (summary.total_wires as f64 * layers) as u64;
+        summary.total_wirelength_um *= layers;
+        summary.grounded_ports = (summary.grounded_ports as f64 * layers) as u64;
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::MeNeuronParams;
+    use hnlpu_model::zoo;
+
+    fn model_compiler() -> ModelCompiler {
+        let mut params = MeNeuronParams::array_default();
+        params.slice_inputs = 16; // small test models want fine slices
+        ModelCompiler::new(MeCompiler::new(params))
+    }
+
+    #[test]
+    fn tiny_model_surveys_completely() {
+        let cfg = zoo::test_model().config;
+        let gen = WeightGenerator::new(3);
+        let s = model_compiler().survey(&cfg, &gen, usize::MAX).unwrap();
+        // Every weight of the transformer blocks becomes a wire.
+        let expect = cfg.attention_params() + cfg.moe_params();
+        assert_eq!(s.total_wires, expect);
+        assert_eq!(s.matrices_extrapolated, 0);
+        assert!(s.worst_peak_utilization < 0.7);
+    }
+
+    #[test]
+    fn sampling_extrapolates_wire_count_exactly() {
+        let cfg = zoo::test_model().config;
+        let gen = WeightGenerator::new(3);
+        let full = model_compiler().survey(&cfg, &gen, usize::MAX).unwrap();
+        let sampled = model_compiler().survey(&cfg, &gen, 1).unwrap();
+        // Wire counts are shape-determined: extrapolation is exact.
+        assert_eq!(full.total_wires, sampled.total_wires);
+        assert!(sampled.matrices_compiled < full.matrices_compiled);
+        assert!(sampled.matrices_extrapolated > 0);
+    }
+
+    #[test]
+    #[ignore = "compiles ~80M weights; run with --ignored (~1 min)"]
+    fn gpt_oss_survey_matches_parameter_count() {
+        // The production model: survey with 2 expert samples per kind.
+        let cfg = zoo::gpt_oss_120b().config;
+        let gen = WeightGenerator::new(1);
+        let s = ModelCompiler::new(MeCompiler::new(MeNeuronParams::array_default()))
+            .survey(&cfg, &gen, 2)
+            .unwrap();
+        let expect = cfg.attention_params() + cfg.moe_params();
+        let ratio = s.total_wires as f64 / expect as f64;
+        assert!(
+            (ratio - 1.0).abs() < 1e-6,
+            "wires {} vs {}",
+            s.total_wires,
+            expect
+        );
+        assert!(s.worst_peak_utilization < 0.7, "density bound violated");
+        assert!(
+            s.total_wirelength_um > 1e9,
+            "a 116B-wire model is metres of wire"
+        );
+    }
+
+    #[test]
+    fn slack_overhead_shrinks_with_fan_in() {
+        // Tiny fan-ins pay heavy slice-granularity slack (every region
+        // still needs whole slices); production fan-ins amortize it down
+        // to roughly the 25% provisioning slack.
+        let gen = WeightGenerator::new(5);
+        let tiny = zoo::test_model().config;
+        let s_tiny = model_compiler().survey(&tiny, &gen, usize::MAX).unwrap();
+        let frac_tiny = s_tiny.grounded_ports as f64 / s_tiny.total_wires as f64;
+        assert!(frac_tiny > 0.5, "tiny models waste slack: {frac_tiny}");
+
+        let big = hnlpu_model::WeightMatrix::new(hnlpu_model::WeightKind::Key, 2880, 8);
+        let compiled = MeCompiler::new(MeNeuronParams::array_default())
+            .compile(&gen, 0, &big)
+            .unwrap();
+        let frac_big = compiled.grounded_ports as f64 / compiled.wires as f64;
+        assert!(
+            frac_big < 0.6,
+            "production fan-in slack should amortize: {frac_big}"
+        );
+        assert!(frac_big < frac_tiny);
+    }
+}

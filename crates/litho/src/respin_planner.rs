@@ -1,0 +1,161 @@
+//! Model-update re-spin planning (§8 "Model Updates", "Field-programmable
+//! vs Metal-programmable", and future work 1).
+//!
+//! Three update classes exist for a deployed HNLPU:
+//!
+//! * **Parameter-only** — same architecture, new weights: re-spin only the
+//!   10 metal-embedding masks per chip (the Sea-of-Neurons headline).
+//! * **Hyper-parameter** — the architecture changed but still fits the
+//!   prefabricated array (same or smaller fan-ins/neuron counts): with the
+//!   programmable-dataflow extension this is also an ME-mask re-spin,
+//!   wiring fewer ports and grounding the rest.
+//! * **Incompatible** — the new model outgrows the prefab (more weights,
+//!   wider fan-in, more chips): a full new tapeout.
+//!
+//! Also here: the §8 fault-tolerance observation that even a catastrophic
+//! 1% yield only adds wafer cost (~$0.5 M / $22 M at low/high volume),
+//! because masks — the expensive part — are unaffected by yield.
+
+use crate::cost::CostRange;
+use crate::nre::{NreScenario, NreSummary};
+use crate::wafer::WaferPricing;
+use hnlpu_model::TransformerConfig;
+
+/// Classification of a model update against a deployed prefab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// Same shapes: weights-only metal re-spin.
+    ParameterOnly,
+    /// Shrinks into the existing prefab: metal re-spin with grounded slack.
+    HyperParameter,
+    /// Outgrows the prefab: full new tapeout required.
+    Incompatible,
+}
+
+/// Decide how `new` can be deployed on hardware prefabricated for `old`.
+pub fn classify_update(old: &TransformerConfig, new: &TransformerConfig) -> UpdateKind {
+    if old == new {
+        return UpdateKind::ParameterOnly;
+    }
+    let same_shapes = old.hidden_size == new.hidden_size
+        && old.num_layers == new.num_layers
+        && old.attention == new.attention
+        && old.moe == new.moe;
+    if same_shapes {
+        return UpdateKind::ParameterOnly;
+    }
+    // The prefab bounds every resource; a new model fits if it needs no
+    // more of any of them.
+    let fits = new.hidden_size <= old.hidden_size
+        && new.num_layers <= old.num_layers
+        && new.attention.q_width() <= old.attention.q_width()
+        && new.attention.kv_width() <= old.attention.kv_width()
+        && new.moe.num_experts <= old.moe.num_experts
+        && new.moe.intermediate_size <= old.moe.intermediate_size
+        && new.vocab_size <= old.vocab_size;
+    if fits {
+        UpdateKind::HyperParameter
+    } else {
+        UpdateKind::Incompatible
+    }
+}
+
+/// Price an update of kind `kind` for a deployment of `systems` machines.
+pub fn update_cost(kind: UpdateKind, systems: u32) -> CostRange {
+    let nre = NreSummary::price(NreScenario::gpt_oss(systems));
+    match kind {
+        UpdateKind::ParameterOnly | UpdateKind::HyperParameter => nre.respin(),
+        UpdateKind::Incompatible => nre.initial_build(),
+    }
+}
+
+/// Extra wafer cost of harvesting `chips` good dies at a catastrophic
+/// `yield_frac` instead of the nominal Murphy yield (§8 "Yield and Fault
+/// Tolerance").
+///
+/// # Panics
+///
+/// Panics if `yield_frac` is not in `(0, 1]`.
+pub fn low_yield_extra_wafer_cost(chips: u32, yield_frac: f64, pricing: &WaferPricing) -> f64 {
+    assert!(
+        yield_frac > 0.0 && yield_frac <= 1.0,
+        "yield must be in (0, 1]"
+    );
+    let gross = pricing.gross_dies(827.08) as f64;
+    let nominal_wafers = (chips as f64 / (gross * pricing.yield_for(827.08))).ceil();
+    let bad_wafers = (chips as f64 / (gross * yield_frac)).ceil();
+    (bad_wafers - nominal_wafers).max(0.0) * pricing.wafer_usd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnlpu_model::zoo;
+
+    #[test]
+    fn identical_config_is_parameter_only() {
+        let cfg = zoo::gpt_oss_120b().config;
+        assert_eq!(classify_update(&cfg, &cfg), UpdateKind::ParameterOnly);
+    }
+
+    #[test]
+    fn shrinking_model_is_hyper_parameter() {
+        let old = zoo::gpt_oss_120b().config;
+        let mut new = old;
+        new.num_layers = 32;
+        new.moe.num_experts = 96;
+        assert_eq!(classify_update(&old, &new), UpdateKind::HyperParameter);
+    }
+
+    #[test]
+    fn growing_model_is_incompatible() {
+        let old = zoo::gpt_oss_120b().config;
+        let mut new = old;
+        new.hidden_size = 3584;
+        assert_eq!(classify_update(&old, &new), UpdateKind::Incompatible);
+        // Kimi-K2 certainly does not fit a gpt-oss prefab.
+        assert_eq!(
+            classify_update(&old, &zoo::kimi_k2().config),
+            UpdateKind::Incompatible
+        );
+    }
+
+    #[test]
+    fn update_costs_are_ordered() {
+        let respin = update_cost(UpdateKind::ParameterOnly, 1);
+        let hyper = update_cost(UpdateKind::HyperParameter, 1);
+        let full = update_cost(UpdateKind::Incompatible, 1);
+        assert_eq!(respin, hyper);
+        assert!(full.mid() > 2.0 * respin.mid());
+    }
+
+    #[test]
+    fn one_percent_yield_costs_half_a_million_low_volume() {
+        // §8: "These wafers cost $0.5M/$22M in low/high volume CapEx."
+        let p = WaferPricing::n5();
+        let low = low_yield_extra_wafer_cost(16, 0.01, &p);
+        // 25 extra wafers x $16,988 = $425K; the paper rounds to "$0.5M".
+        assert!(
+            (low - 0.5e6).abs() / 0.5e6 < 0.2,
+            "low-volume extra = {low:.0}"
+        );
+        let high = low_yield_extra_wafer_cost(800, 0.01, &p);
+        assert!(
+            (high - 22.0e6).abs() / 22.0e6 < 0.05,
+            "high-volume extra = {high:.0}"
+        );
+    }
+
+    #[test]
+    fn nominal_yield_costs_nothing_extra() {
+        let p = WaferPricing::n5();
+        let nominal = p.yield_for(827.08);
+        assert_eq!(low_yield_extra_wafer_cost(16, nominal, &p), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "yield must be")]
+    fn zero_yield_rejected() {
+        low_yield_extra_wafer_cost(16, 0.0, &WaferPricing::n5());
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-layer key/value cache (the functional twin of the Attention Buffer).
+
+/// KV storage for one sequence: `layers × positions × kv_heads × head_dim`.
+#[derive(Debug, Clone, Default)]
+pub struct KvCache {
+    layers: Vec<LayerKv>,
+    kv_heads: usize,
+    head_dim: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct LayerKv {
+    /// Flattened `(positions, kv_heads * head_dim)` keys.
+    keys: Vec<f32>,
+    /// Flattened values, same layout.
+    values: Vec<f32>,
+}
+
+impl KvCache {
+    /// An empty cache for `num_layers` layers of `kv_heads × head_dim`.
+    pub fn new(num_layers: usize, kv_heads: usize, head_dim: usize) -> Self {
+        KvCache {
+            layers: vec![LayerKv::default(); num_layers],
+            kv_heads,
+            head_dim,
+        }
+    }
+
+    /// Cached positions (context length).
+    pub fn len(&self) -> usize {
+        self.layers
+            .first()
+            .map_or(0, |l| l.keys.len() / (self.kv_heads * self.head_dim).max(1))
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one position's K and V for `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are not `kv_heads * head_dim` long or the layer
+    /// index is out of range.
+    pub fn append(&mut self, layer: usize, k: &[f32], v: &[f32]) {
+        let width = self.kv_heads * self.head_dim;
+        assert_eq!(k.len(), width, "key width");
+        assert_eq!(v.len(), width, "value width");
+        let l = &mut self.layers[layer];
+        l.keys.extend_from_slice(k);
+        l.values.extend_from_slice(v);
+    }
+
+    /// Key vector of `head` at `position` in `layer`.
+    pub fn key(&self, layer: usize, position: usize, head: usize) -> &[f32] {
+        let width = self.kv_heads * self.head_dim;
+        let base = position * width + head * self.head_dim;
+        &self.layers[layer].keys[base..base + self.head_dim]
+    }
+
+    /// Value vector of `head` at `position` in `layer`.
+    pub fn value(&self, layer: usize, position: usize, head: usize) -> &[f32] {
+        let width = self.kv_heads * self.head_dim;
+        let base = position * width + head * self.head_dim;
+        &self.layers[layer].values[base..base + self.head_dim]
+    }
+
+    /// Total cached bytes at fp16 storage (capacity planning).
+    pub fn bytes_fp16(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| (l.keys.len() + l.values.len()) as u64 * 2)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_fetch() {
+        let mut c = KvCache::new(2, 2, 4);
+        assert!(c.is_empty());
+        let k: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let v: Vec<f32> = (0..8).map(|i| -(i as f32)).collect();
+        c.append(0, &k, &v);
+        c.append(1, &v, &k);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.key(0, 0, 1), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(c.value(1, 0, 0), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn grows_with_positions() {
+        let mut c = KvCache::new(1, 1, 2);
+        for p in 0..5 {
+            c.append(0, &[p as f32, 0.0], &[0.0, p as f32]);
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.key(0, 3, 0), &[3.0, 0.0]);
+        assert_eq!(c.bytes_fp16(), 5 * 2 * 2 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "key width")]
+    fn wrong_width_rejected() {
+        KvCache::new(1, 2, 4).append(0, &[0.0; 7], &[0.0; 8]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Functional LLM inference: the reference transformer and the 16-chip
+//! HNLPU dataflow executor.
+//!
+//! The paper's HNLPU is a *complete physical implementation* of gpt-oss
+//! 120 B: token ids in, token ids out. This crate validates that the
+//! partitioning/dataflow of §5 and Appendix A computes the same function as
+//! a straightforward single-device transformer:
+//!
+//! * [`tensor`] — minimal row-major matrix/vector kernels.
+//! * [`ops`] — RMSNorm, softmax, SwiGLU, rotary embedding, top-k.
+//! * [`kv_cache`] — per-layer KV storage.
+//! * [`sampler`] — greedy and seeded-multinomial logit sampling.
+//! * [`mod@reference`] — the single-device decoder (GQA + MoE, pre-norm).
+//! * [`dataflow`] — the 4×4-chip executor with explicit partial sums and
+//!   collectives mirroring Figure 10, plus communication counters.
+//!
+//! # Example
+//!
+//! ```
+//! use hnlpu_llm::reference::Transformer;
+//! use hnlpu_llm::dataflow::DataflowExecutor;
+//! use hnlpu_model::{zoo, ModelWeights, WeightGenerator};
+//!
+//! let card = zoo::dataflow_test_model();
+//! let w = ModelWeights::materialize(&card.config, &WeightGenerator::new(7));
+//! let reference = Transformer::new(w.clone());
+//! let hnlpu = DataflowExecutor::new(w);
+//! let prompt = [1u32, 5, 9];
+//! let a = reference.generate_greedy(&prompt, 8);
+//! let b = hnlpu.generate_greedy(&prompt, 8);
+//! assert_eq!(a, b); // same tokens out of both machines
+//! ```
+
+#![warn(missing_docs)]
+pub mod dataflow;
+pub mod kv_cache;
+pub mod lora;
+pub mod ops;
+pub mod reference;
+pub mod sampler;
+pub mod tensor;
+pub mod tokenizer;
+
+pub use dataflow::{CommCounters, DataflowExecutor};
+pub use kv_cache::KvCache;
+pub use lora::LoraAdapter;
+pub use reference::Transformer;
+pub use sampler::Sampler;
+pub use tokenizer::AsciiTokenizer;

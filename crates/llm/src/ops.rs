@@ -1,0 +1,150 @@
+//! Nonlinear operators: RMSNorm, softmax, SwiGLU, rotary embedding, top-k.
+//! These are the operations the VEX unit implements in hardware (§4.3).
+
+/// Root-mean-square normalization (no learned scale in this reproduction;
+/// synthetic weights make a learned gain redundant).
+pub fn rmsnorm(x: &[f32]) -> Vec<f32> {
+    let eps = 1e-5f32;
+    let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    x.iter().map(|v| v * inv).collect()
+}
+
+/// Numerically-stable softmax.
+pub fn softmax(x: &[f32]) -> Vec<f32> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let m = x.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let exps: Vec<f32> = x.iter().map(|&v| (v - m).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// SiLU (swish) activation.
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// SwiGLU combine: `silu(gate) ⊙ up`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn swiglu(gate: &[f32], up: &[f32]) -> Vec<f32> {
+    assert_eq!(gate.len(), up.len(), "length mismatch");
+    gate.iter()
+        .zip(up.iter())
+        .map(|(&g, &u)| silu(g) * u)
+        .collect()
+}
+
+/// Apply rotary position embedding in place to a head vector of even
+/// dimension at `position`.
+///
+/// # Panics
+///
+/// Panics if the head dimension is odd.
+pub fn rope(head: &mut [f32], position: usize) {
+    assert!(head.len().is_multiple_of(2), "rope needs an even head dim");
+    let d = head.len();
+    for i in 0..d / 2 {
+        let theta = position as f32 / 10_000f32.powf(2.0 * i as f32 / d as f32);
+        let (sin, cos) = theta.sin_cos();
+        let (a, b) = (head[2 * i], head[2 * i + 1]);
+        head[2 * i] = a * cos - b * sin;
+        head[2 * i + 1] = a * sin + b * cos;
+    }
+}
+
+/// Indices of the `k` largest values, in descending value order with
+/// deterministic (lowest-index) tie-breaking — hardware comparator trees
+/// are deterministic, so the reference must be too.
+pub fn topk(x: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| {
+        x[b].partial_cmp(&x[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rmsnorm_produces_unit_rms() {
+        let y = rmsnorm(&[3.0, -4.0, 12.0, 0.0]);
+        let rms = (y.iter().map(|v| v * v).sum::<f32>() / y.len() as f32).sqrt();
+        assert!((rms - 1.0).abs() < 1e-3, "rms = {rms}");
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 3.0, 2.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[1] > p[2] && p[2] > p[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_inputs() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn silu_properties() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!(silu(10.0) > 9.9);
+        assert!(silu(-10.0) > -0.01 && silu(-10.0) < 0.0);
+    }
+
+    #[test]
+    fn rope_preserves_norm_and_position_zero_is_identity() {
+        let mut h = vec![0.3f32, -0.7, 1.1, 0.2];
+        let orig = h.clone();
+        rope(&mut h, 0);
+        assert_eq!(h, orig);
+        rope(&mut h, 7);
+        let n0: f32 = orig.iter().map(|v| v * v).sum();
+        let n1: f32 = h.iter().map(|v| v * v).sum();
+        assert!((n0 - n1).abs() < 1e-4);
+        assert_ne!(h, orig);
+    }
+
+    #[test]
+    fn topk_selects_and_breaks_ties_low_index() {
+        assert_eq!(topk(&[0.1, 0.9, 0.5, 0.9], 2), vec![1, 3]);
+        assert_eq!(topk(&[1.0, 1.0, 1.0], 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(softmax(&[]).is_empty());
+        assert!(topk(&[], 3).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_is_distribution(xs in prop::collection::vec(-50f32..50.0, 1..64)) {
+            let p = softmax(&xs);
+            prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+
+        #[test]
+        fn topk_returns_k_distinct(xs in prop::collection::vec(-5f32..5.0, 1..64), k in 1usize..8) {
+            let k = k.min(xs.len());
+            let ids = topk(&xs, k);
+            prop_assert_eq!(ids.len(), k);
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), k);
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The single-device reference transformer (pre-norm GQA + MoE + SwiGLU),
+//! the functional ground truth the HNLPU dataflow is verified against.
+
+use crate::kv_cache::KvCache;
+use crate::lora::LoraAdapter;
+use crate::ops::{rmsnorm, rope, softmax, swiglu, topk};
+use crate::sampler::{argmax, Sampler};
+use crate::tensor::{add_assign, dot, vec_mat};
+use hnlpu_model::{ModelWeights, TransformerConfig};
+
+/// The reference decoder.
+#[derive(Debug, Clone)]
+pub struct Transformer {
+    weights: ModelWeights,
+    /// Optional LoRA side-channel adapters on the query projection,
+    /// one slot per layer (§8 future work 4).
+    q_adapters: Vec<Option<LoraAdapter>>,
+}
+
+impl Transformer {
+    /// Wrap materialized weights.
+    pub fn new(weights: ModelWeights) -> Self {
+        let layers = weights.config.num_layers;
+        Transformer {
+            weights,
+            q_adapters: vec![None; layers],
+        }
+    }
+
+    /// Install a LoRA adapter on `layer`'s query projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adapter shape does not match `Wq` or the layer index
+    /// is out of range.
+    pub fn set_q_adapter(&mut self, layer: usize, adapter: LoraAdapter) {
+        let c = self.config();
+        assert_eq!(adapter.rows, c.hidden_size, "adapter rows");
+        assert_eq!(adapter.cols, c.attention.q_width(), "adapter cols");
+        self.q_adapters[layer] = Some(adapter);
+    }
+
+    /// The architecture.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.weights.config
+    }
+
+    /// An empty KV cache for this model.
+    pub fn new_cache(&self) -> KvCache {
+        let c = self.config();
+        KvCache::new(c.num_layers, c.attention.num_kv_heads, c.attention.head_dim)
+    }
+
+    /// Embedding lookup for `token`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` exceeds the vocabulary.
+    pub fn embed(&self, token: u32) -> Vec<f32> {
+        let c = self.config();
+        assert!((token as usize) < c.vocab_size, "token out of vocabulary");
+        let h = c.hidden_size;
+        self.weights.embedding[token as usize * h..(token as usize + 1) * h].to_vec()
+    }
+
+    /// Run one decode step: consume `token` at the cache's current position,
+    /// append its KV, and return the next-token logits.
+    pub fn step(&self, token: u32, cache: &mut KvCache) -> Vec<f32> {
+        self.unembed(&self.hidden_step(token, cache))
+    }
+
+    /// As [`step`](Self::step), but return the final normalized hidden
+    /// state instead of logits (the representation text-embedding uses).
+    pub fn hidden_step(&self, token: u32, cache: &mut KvCache) -> Vec<f32> {
+        let c = *self.config();
+        let position = cache.len();
+        let mut x = self.embed(token);
+        for layer in 0..c.num_layers {
+            x = self.block(&x, layer, position, cache);
+        }
+        rmsnorm(&x)
+    }
+
+    /// Sequence scoring (§8 future work 3): total log-probability the model
+    /// assigns to `tokens[1..]` given the growing prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` has fewer than two entries.
+    pub fn score_sequence(&self, tokens: &[u32]) -> f64 {
+        assert!(tokens.len() >= 2, "need at least two tokens to score");
+        let mut cache = self.new_cache();
+        let mut total = 0.0f64;
+        let mut logits = self.step(tokens[0], &mut cache);
+        for &next in &tokens[1..] {
+            let probs = softmax(&logits);
+            total += (probs[next as usize].max(f32::MIN_POSITIVE) as f64).ln();
+            logits = self.step(next, &mut cache);
+        }
+        total
+    }
+
+    /// Text embedding (§8 future work 3): mean-pooled normalized hidden
+    /// states over the sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty.
+    pub fn text_embedding(&self, tokens: &[u32]) -> Vec<f32> {
+        assert!(!tokens.is_empty(), "need at least one token to embed");
+        let mut cache = self.new_cache();
+        let mut pooled = vec![0.0f32; self.config().hidden_size];
+        for &t in tokens {
+            let h = self.hidden_step(t, &mut cache);
+            add_assign(&mut pooled, &h);
+        }
+        let inv = 1.0 / tokens.len() as f32;
+        for v in &mut pooled {
+            *v *= inv;
+        }
+        pooled
+    }
+
+    /// One transformer block.
+    fn block(&self, x: &[f32], layer: usize, position: usize, cache: &mut KvCache) -> Vec<f32> {
+        let c = *self.config();
+        let w = &self.weights.layers[layer];
+        let (hd, qh, kvh) = (
+            c.attention.head_dim,
+            c.attention.num_query_heads,
+            c.attention.num_kv_heads,
+        );
+        let group = c.attention.group_size();
+
+        // --- Attention ---
+        let xn = rmsnorm(x);
+        let mut q = vec_mat(&xn, &w.wq, c.attention.q_width());
+        if let Some(adapter) = &self.q_adapters[layer] {
+            q = adapter.apply(&q, &xn);
+        }
+        let mut k = vec_mat(&xn, &w.wk, c.attention.kv_width());
+        let v = vec_mat(&xn, &w.wv, c.attention.kv_width());
+        for head in 0..qh {
+            rope(&mut q[head * hd..(head + 1) * hd], position);
+        }
+        for head in 0..kvh {
+            rope(&mut k[head * hd..(head + 1) * hd], position);
+        }
+        cache.append(layer, &k, &v);
+        let ctx = cache.len();
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        let mut attn_out = vec![0.0f32; qh * hd];
+        for head in 0..qh {
+            let kv_head = head / group;
+            let qh_vec = &q[head * hd..(head + 1) * hd];
+            let scores: Vec<f32> = (0..ctx)
+                .map(|p| dot(qh_vec, cache.key(layer, p, kv_head)) * scale)
+                .collect();
+            let probs = softmax(&scores);
+            let out = &mut attn_out[head * hd..(head + 1) * hd];
+            for (p, &pr) in probs.iter().enumerate() {
+                let val = cache.value(layer, p, kv_head);
+                for (o, &vv) in out.iter_mut().zip(val.iter()) {
+                    *o += pr * vv;
+                }
+            }
+        }
+        let mut xo = vec_mat(&attn_out, &w.wo, c.hidden_size);
+        add_assign(&mut xo, x); // first residual
+
+        // --- MoE FFN ---
+        let xn = rmsnorm(&xo);
+        let router_logits = vec_mat(&xn, &w.router, c.moe.num_experts);
+        let chosen = topk(&router_logits, c.moe.experts_per_token);
+        let chosen_logits: Vec<f32> = chosen.iter().map(|&e| router_logits[e]).collect();
+        let expert_weights = softmax(&chosen_logits);
+
+        let mut y = vec![0.0f32; c.hidden_size];
+        for (&expert, &ew) in chosen.iter().zip(expert_weights.iter()) {
+            let up = vec_mat(&xn, &w.up[expert], c.moe.intermediate_size);
+            let gate = vec_mat(&xn, &w.gate[expert], c.moe.intermediate_size);
+            let act = swiglu(&gate, &up);
+            let down = vec_mat(&act, &w.down[expert], c.hidden_size);
+            for (yo, &d) in y.iter_mut().zip(down.iter()) {
+                *yo += ew * d;
+            }
+        }
+        add_assign(&mut y, &xo); // second residual
+        y
+    }
+
+    /// Unembedding (weight-tied): logits over the vocabulary.
+    pub fn unembed(&self, x: &[f32]) -> Vec<f32> {
+        let c = self.config();
+        let h = c.hidden_size;
+        (0..c.vocab_size)
+            .map(|t| dot(x, &self.weights.embedding[t * h..(t + 1) * h]))
+            .collect()
+    }
+
+    /// Prefill `prompt` then greedily decode `n` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty.
+    pub fn generate_greedy(&self, prompt: &[u32], n: usize) -> Vec<u32> {
+        self.generate(prompt, n, &mut Sampler::Greedy)
+    }
+
+    /// Prefill `prompt` then decode `n` tokens with `sampler`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty.
+    pub fn generate(&self, prompt: &[u32], n: usize, sampler: &mut Sampler) -> Vec<u32> {
+        assert!(!prompt.is_empty(), "prompt must contain at least one token");
+        let mut cache = self.new_cache();
+        let mut logits = Vec::new();
+        for &t in prompt {
+            logits = self.step(t, &mut cache);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let next = sampler.sample(&logits);
+            out.push(next);
+            if out.len() == n {
+                break;
+            }
+            logits = self.step(next, &mut cache);
+        }
+        out
+    }
+
+    /// Greedy argmax of the current logits (exposed for sequence-scoring
+    /// style uses).
+    pub fn argmax_token(logits: &[f32]) -> u32 {
+        argmax(logits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnlpu_model::{zoo, WeightGenerator};
+
+    fn model() -> Transformer {
+        let card = zoo::test_model();
+        Transformer::new(ModelWeights::materialize(
+            &card.config,
+            &WeightGenerator::new(42),
+        ))
+    }
+
+    #[test]
+    fn step_produces_vocab_logits() {
+        let m = model();
+        let mut cache = m.new_cache();
+        let logits = m.step(3, &mut cache);
+        assert_eq!(logits.len(), m.config().vocab_size);
+        assert_eq!(cache.len(), 1);
+        assert!(logits.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = model();
+        let a = m.generate_greedy(&[1, 2, 3], 6);
+        let b = m.generate_greedy(&[1, 2, 3], 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn different_prompts_diverge() {
+        let m = model();
+        let a = m.generate_greedy(&[1, 2, 3], 8);
+        let b = m.generate_greedy(&[4, 5, 6], 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn context_affects_logits() {
+        // Causal attention: the same token in different contexts produces
+        // different logits.
+        let m = model();
+        let mut c1 = m.new_cache();
+        m.step(1, &mut c1);
+        let l1 = m.step(7, &mut c1);
+        let mut c2 = m.new_cache();
+        m.step(2, &mut c2);
+        let l2 = m.step(7, &mut c2);
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn multinomial_generation_runs() {
+        let m = model();
+        let mut s = Sampler::multinomial(0.8, 123);
+        let out = m.generate(&[1], 5, &mut s);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|&t| (t as usize) < m.config().vocab_size));
+    }
+
+    #[test]
+    #[should_panic(expected = "token out of vocabulary")]
+    fn oversized_token_rejected() {
+        model().embed(u32::MAX);
+    }
+
+    #[test]
+    fn sequence_scoring_prefers_model_output() {
+        // A greedily generated continuation must score at least as high as
+        // a perturbed one.
+        let m = model();
+        let prompt = [1u32, 2];
+        let gen = m.generate_greedy(&prompt, 4);
+        let mut good: Vec<u32> = prompt.to_vec();
+        good.extend_from_slice(&gen);
+        let mut bad = good.clone();
+        let last = *bad.last().unwrap();
+        *bad.last_mut().unwrap() = (last + 17) % m.config().vocab_size as u32;
+        assert!(m.score_sequence(&good) >= m.score_sequence(&bad));
+    }
+
+    #[test]
+    fn text_embedding_shape_and_sensitivity() {
+        let m = model();
+        let a = m.text_embedding(&[1, 2, 3]);
+        let b = m.text_embedding(&[4, 5, 6]);
+        assert_eq!(a.len(), m.config().hidden_size);
+        assert_ne!(a, b);
+        // Pooled RMS-normalized states have bounded magnitude.
+        let rms = (a.iter().map(|v| v * v).sum::<f32>() / a.len() as f32).sqrt();
+        assert!(rms < 2.0, "rms = {rms}");
+    }
+
+    #[test]
+    fn lora_adapter_changes_generation() {
+        use crate::lora::LoraAdapter;
+        let mut m = model();
+        let before = m.generate_greedy(&[1, 2, 3], 6);
+        let c = *m.config();
+        m.set_q_adapter(
+            0,
+            LoraAdapter::seeded(c.hidden_size, c.attention.q_width(), 4, 8.0, 3),
+        );
+        let after = m.generate_greedy(&[1, 2, 3], 6);
+        assert_ne!(before, after, "a strong adapter must steer decoding");
+    }
+
+    #[test]
+    fn zero_lora_adapter_is_identity() {
+        use crate::lora::LoraAdapter;
+        let mut m = model();
+        let before = m.generate_greedy(&[1, 2, 3], 6);
+        let c = *m.config();
+        m.set_q_adapter(
+            1,
+            LoraAdapter::zeros(c.hidden_size, c.attention.q_width(), 4, 1.0),
+        );
+        assert_eq!(m.generate_greedy(&[1, 2, 3], 6), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "prompt must contain")]
+    fn empty_prompt_rejected() {
+        model().generate_greedy(&[], 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Minimal row-major matrix/vector kernels.
+
+/// `y = x · W` where `x` is `(1, rows)` and `W` is row-major `(rows, cols)`.
+///
+/// # Panics
+///
+/// Panics if `x.len() * cols != w.len()`.
+pub fn vec_mat(x: &[f32], w: &[f32], cols: usize) -> Vec<f32> {
+    assert_eq!(x.len() * cols, w.len(), "shape mismatch");
+    let mut y = vec![0.0f32; cols];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let row = &w[i * cols..(i + 1) * cols];
+        for (yj, &wij) in y.iter_mut().zip(row.iter()) {
+            *yj += xi * wij;
+        }
+    }
+    y
+}
+
+/// `y = x · W[row_range, col_range]` — a partial product over a sub-block
+/// of `W`, as a chip computes it (the dataflow executor's workhorse).
+///
+/// # Panics
+///
+/// Panics if the ranges exceed the matrix shape.
+pub fn vec_mat_block(
+    x: &[f32],
+    w: &[f32],
+    cols: usize,
+    row_range: std::ops::Range<usize>,
+    col_range: std::ops::Range<usize>,
+) -> Vec<f32> {
+    assert!(row_range.end <= x.len(), "row range out of bounds");
+    assert!(col_range.end <= cols, "col range out of bounds");
+    let mut y = vec![0.0f32; col_range.len()];
+    for i in row_range {
+        let xi = x[i];
+        if xi == 0.0 {
+            continue;
+        }
+        let row = &w[i * cols + col_range.start..i * cols + col_range.end];
+        for (yj, &wij) in y.iter_mut().zip(row.iter()) {
+            *yj += xi * wij;
+        }
+    }
+    y
+}
+
+/// Elementwise `a += b`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn add_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x += y;
+    }
+}
+
+/// Dot product.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Scale in place.
+pub fn scale(a: &mut [f32], k: f32) {
+    for x in a.iter_mut() {
+        *x *= k;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_mat_identity() {
+        // 3x3 identity.
+        let w = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        assert_eq!(vec_mat(&[2.0, 3.0, 4.0], &w, 3), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn vec_mat_block_partials_sum_to_full() {
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let w: Vec<f32> = (0..4 * 6).map(|i| i as f32 * 0.5).collect();
+        let full = vec_mat(&x, &w, 6);
+        let mut sum = vec![0.0; 3];
+        // Split rows in two halves, columns 0..3.
+        for rows in [0..2usize, 2..4] {
+            let part = vec_mat_block(&x, &w, 6, rows, 0..3);
+            add_assign(&mut sum, &part);
+        }
+        assert_eq!(sum, full[0..3].to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn vec_mat_validates() {
+        vec_mat(&[1.0], &[1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn dot_and_scale() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut a = [2.0f32, 4.0];
+        scale(&mut a, 0.5);
+        assert_eq!(a, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_skip_is_exact() {
+        let x = [0.0f32, 1.0];
+        let w = [5.0f32, 6.0, 7.0, 8.0];
+        assert_eq!(vec_mat(&x, &w, 2), vec![7.0, 8.0]);
+    }
+}

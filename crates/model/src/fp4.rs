@@ -1,0 +1,231 @@
+//! The FP4 (E2M1) number format and MXFP4 block scaling.
+//!
+//! gpt-oss 120 B ships 4-bit weights. E2M1 has 1 sign bit, 2 exponent bits
+//! (bias 1) and 1 mantissa bit, yielding 16 encodings over 8 magnitudes:
+//! `{0, 0.5, 1, 1.5, 2, 3, 4, 6}` (±). The Hardwired-Neuron architecture
+//! allocates one POPCNT accumulator region per *unique weight value*, so the
+//! 16-point value lattice here is exactly the "16 regions" of Figure 4.
+//!
+//! MXFP4 attaches a shared power-of-two scale (E8M0) to each block of 32
+//! elements; the scale multiplies the region outputs and does not change the
+//! wire topology, so the metal-embedding story is unaffected.
+
+use std::fmt;
+
+/// Number of distinct FP4 encodings (and thus POPCNT regions per neuron).
+pub const NUM_CODES: usize = 16;
+
+/// Elements sharing one scale in an MXFP4 block.
+pub const MX_BLOCK: usize = 32;
+
+/// An FP4 (E2M1) value, stored as its 4-bit code.
+///
+/// # Example
+///
+/// ```
+/// use hnlpu_model::Fp4;
+/// let x = Fp4::from_f32(1.4);
+/// assert_eq!(x.to_f32(), 1.5); // nearest representable
+/// assert_eq!(Fp4::from_f32(100.0).to_f32(), 6.0); // saturates
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fp4(u8);
+
+/// The eight representable magnitudes of E2M1, indexed by `code & 0b0111`.
+const MAGNITUDES: [f32; 8] = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0];
+
+impl Fp4 {
+    /// Positive zero.
+    pub const ZERO: Fp4 = Fp4(0);
+    /// Largest positive value (+6.0).
+    pub const MAX: Fp4 = Fp4(0b0111);
+    /// Most negative value (−6.0).
+    pub const MIN: Fp4 = Fp4(0b1111);
+
+    /// Construct from a raw 4-bit code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= 16`.
+    pub fn from_code(code: u8) -> Self {
+        assert!(code < 16, "FP4 code must be 4 bits, got {code}");
+        Fp4(code)
+    }
+
+    /// The raw 4-bit code (sign in bit 3).
+    pub fn code(self) -> u8 {
+        self.0
+    }
+
+    /// Round-to-nearest-even conversion from `f32`, saturating at ±6.
+    pub fn from_f32(x: f32) -> Self {
+        if x.is_nan() {
+            return Fp4::ZERO;
+        }
+        let sign = if x.is_sign_negative() { 0b1000 } else { 0 };
+        let mag = x.abs();
+        // Find nearest magnitude; ties go to the even (lower mantissa) code.
+        let mut best = 0usize;
+        let mut best_err = f32::INFINITY;
+        for (i, &m) in MAGNITUDES.iter().enumerate() {
+            let err = (mag - m).abs();
+            if err < best_err || (err == best_err && i % 2 == 0) {
+                best_err = err;
+                best = i;
+            }
+        }
+        if mag >= MAGNITUDES[7] {
+            best = 7;
+        }
+        Fp4(sign | best as u8)
+    }
+
+    /// Exact conversion to `f32`.
+    pub fn to_f32(self) -> f32 {
+        let m = MAGNITUDES[(self.0 & 0b0111) as usize];
+        if self.0 & 0b1000 != 0 {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// True when the magnitude is zero (either sign).
+    pub fn is_zero(self) -> bool {
+        self.0 & 0b0111 == 0
+    }
+
+    /// Iterator over all 16 codes.
+    pub fn all_codes() -> impl Iterator<Item = Fp4> {
+        (0u8..16).map(Fp4)
+    }
+
+    /// The value as an exact multiple of 0.5 (range −12..=12), i.e. the
+    /// integer the hardware multiplies by before the final ×0.5 shift.
+    ///
+    /// The constant-multiplier bank in a Hardwired-Neuron implements exactly
+    /// these 16 integer scalings.
+    pub fn as_half_units(self) -> i32 {
+        (self.to_f32() * 2.0) as i32
+    }
+}
+
+impl fmt::Display for Fp4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<Fp4> for f32 {
+    fn from(v: Fp4) -> f32 {
+        v.to_f32()
+    }
+}
+
+/// An MXFP4 block: 32 FP4 codes sharing a power-of-two scale.
+///
+/// The scale exponent is E8M0 (an unbiased power of two in `[-127, 127]`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MxBlock {
+    /// Shared scale exponent: block value = `element * 2^scale_exp`.
+    pub scale_exp: i8,
+    /// The 32 FP4 elements.
+    pub elems: [Fp4; MX_BLOCK],
+}
+
+impl MxBlock {
+    /// Dequantize the whole block to `f32`.
+    pub fn to_f32(&self) -> [f32; MX_BLOCK] {
+        let s = (self.scale_exp as f32).exp2();
+        let mut out = [0.0; MX_BLOCK];
+        for (o, e) in out.iter_mut().zip(self.elems.iter()) {
+            *o = e.to_f32() * s;
+        }
+        out
+    }
+}
+
+impl Default for MxBlock {
+    fn default() -> Self {
+        MxBlock {
+            scale_exp: 0,
+            elems: [Fp4::ZERO; MX_BLOCK],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sixteen_codes_roundtrip() {
+        for c in Fp4::all_codes() {
+            let back = Fp4::from_f32(c.to_f32());
+            // -0 and +0 collapse to +0; everything else is exact.
+            if c.is_zero() {
+                assert!(back.is_zero());
+            } else {
+                assert_eq!(back, c, "code {:#06b}", c.code());
+            }
+        }
+    }
+
+    #[test]
+    fn magnitude_lattice_matches_e2m1() {
+        let mags: Vec<f32> = (0u8..8).map(|c| Fp4::from_code(c).to_f32()).collect();
+        assert_eq!(mags, vec![0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn negative_values() {
+        assert_eq!(Fp4::from_code(0b1010).to_f32(), -1.0);
+        assert_eq!(Fp4::MIN.to_f32(), -6.0);
+        assert_eq!(Fp4::MAX.to_f32(), 6.0);
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(Fp4::from_f32(1e9).to_f32(), 6.0);
+        assert_eq!(Fp4::from_f32(-1e9).to_f32(), -6.0);
+    }
+
+    #[test]
+    fn nan_maps_to_zero() {
+        assert!(Fp4::from_f32(f32::NAN).is_zero());
+    }
+
+    #[test]
+    fn rounding_nearest() {
+        assert_eq!(Fp4::from_f32(0.74).to_f32(), 0.5);
+        assert_eq!(Fp4::from_f32(0.76).to_f32(), 1.0);
+        assert_eq!(Fp4::from_f32(5.1).to_f32(), 6.0);
+        assert_eq!(Fp4::from_f32(4.4).to_f32(), 4.0);
+    }
+
+    #[test]
+    fn half_units_are_exact_integers() {
+        for c in Fp4::all_codes() {
+            let hu = c.as_half_units();
+            assert!((-12..=12).contains(&hu));
+            assert!((hu as f32 * 0.5 - c.to_f32()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mx_block_scaling() {
+        let mut b = MxBlock {
+            scale_exp: 3,
+            ..MxBlock::default()
+        };
+        b.elems[0] = Fp4::from_f32(1.5);
+        let vals = b.to_f32();
+        assert_eq!(vals[0], 12.0);
+        assert_eq!(vals[1], 0.0);
+    }
+
+    #[test]
+    fn num_codes_is_sixteen() {
+        assert_eq!(Fp4::all_codes().count(), NUM_CODES);
+    }
+}

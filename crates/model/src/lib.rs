@@ -1,0 +1,44 @@
+//! Model substrate for the HNLPU reproduction.
+//!
+//! This crate owns everything about the *neural network being hardwired*:
+//!
+//! * [`config`] — transformer/MoE architecture descriptions (hidden size,
+//!   layer count, GQA geometry, expert counts, vocabulary) together with
+//!   exact parameter accounting per weight matrix.
+//! * [`fp4`] — the FP4 (E2M1) number format used by gpt-oss 120 B, plus the
+//!   MXFP4 block-scaled variant.
+//! * [`quant`] — quantization from `f32` to FP4/MXFP4 and back.
+//! * [`weights`] — deterministic, seeded synthetic weight generation. The
+//!   paper hardwires released gpt-oss weights; every published result depends
+//!   only on tensor shapes and value distributions, so seeded synthetic
+//!   weights preserve the behaviour under study (see DESIGN.md).
+//! * [`zoo`] — the named model zoo used by Table 4 (gpt-oss 120 B, Kimi-K2,
+//!   DeepSeek-V3, QwQ-32B, Llama-3 8B).
+//!
+//! # Example
+//!
+//! ```
+//! use hnlpu_model::zoo;
+//!
+//! let gpt_oss = zoo::gpt_oss_120b();
+//! assert_eq!(gpt_oss.config.hidden_size, 2880);
+//! assert_eq!(gpt_oss.config.num_layers, 36);
+//! // Total parameter count is on the order of 117 B.
+//! let total = gpt_oss.config.total_params();
+//! assert!(total > 110_000_000_000 && total < 125_000_000_000);
+//! ```
+
+#![warn(missing_docs)]
+pub mod config;
+pub mod fp4;
+pub mod import;
+pub mod quant;
+pub mod weights;
+pub mod zoo;
+
+pub use config::{AttentionConfig, MoeConfig, TransformerConfig, WeightKind, WeightMatrix};
+pub use fp4::{Fp4, MxBlock};
+pub use import::from_hf_config_json;
+pub use quant::{dequantize_mx, quantize_mx, QuantError};
+pub use weights::{LayerWeights, ModelWeights, WeightGenerator};
+pub use zoo::{ModelCard, Precision};

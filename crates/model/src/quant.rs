@@ -1,0 +1,172 @@
+//! Quantization between `f32` tensors and FP4 / MXFP4.
+
+use crate::fp4::{Fp4, MxBlock, MX_BLOCK};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by block quantization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// The input length is not a multiple of the MX block size.
+    BadLength {
+        /// Offending input length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::BadLength { len } => {
+                write!(f, "input length {len} is not a multiple of {MX_BLOCK}")
+            }
+        }
+    }
+}
+
+impl Error for QuantError {}
+
+/// Quantize a slice of `f32` into MXFP4 blocks.
+///
+/// Each 32-element block receives the smallest power-of-two scale that maps
+/// its absolute maximum into the FP4 range `[0, 6]`.
+///
+/// # Errors
+///
+/// Returns [`QuantError::BadLength`] if `xs.len()` is not a multiple of 32.
+///
+/// # Example
+///
+/// ```
+/// use hnlpu_model::{quantize_mx, dequantize_mx};
+/// let xs: Vec<f32> = (0..64).map(|i| i as f32 * 0.25).collect();
+/// let blocks = quantize_mx(&xs)?;
+/// let back = dequantize_mx(&blocks);
+/// assert_eq!(back.len(), 64);
+/// # Ok::<(), hnlpu_model::QuantError>(())
+/// ```
+pub fn quantize_mx(xs: &[f32]) -> Result<Vec<MxBlock>, QuantError> {
+    if !xs.len().is_multiple_of(MX_BLOCK) {
+        return Err(QuantError::BadLength { len: xs.len() });
+    }
+    Ok(xs.chunks_exact(MX_BLOCK).map(quantize_block).collect())
+}
+
+fn quantize_block(chunk: &[f32]) -> MxBlock {
+    let amax = chunk.iter().fold(0f32, |a, &x| a.max(x.abs()));
+    // Choose scale so amax/2^s <= 6 with the largest usable dynamic range.
+    let scale_exp = if amax == 0.0 || !amax.is_finite() {
+        0i8
+    } else {
+        ((amax / 6.0).log2().ceil() as i32).clamp(-127, 127) as i8
+    };
+    let inv = (-(scale_exp as f32)).exp2();
+    let mut elems = [Fp4::ZERO; MX_BLOCK];
+    for (e, &x) in elems.iter_mut().zip(chunk.iter()) {
+        *e = Fp4::from_f32(x * inv);
+    }
+    MxBlock { scale_exp, elems }
+}
+
+/// Dequantize MXFP4 blocks back to a flat `f32` vector.
+pub fn dequantize_mx(blocks: &[MxBlock]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(blocks.len() * MX_BLOCK);
+    for b in blocks {
+        out.extend_from_slice(&b.to_f32());
+    }
+    out
+}
+
+/// Plain (per-tensor, unit-scale) FP4 quantization of a slice.
+pub fn quantize_fp4(xs: &[f32]) -> Vec<Fp4> {
+    xs.iter().map(|&x| Fp4::from_f32(x)).collect()
+}
+
+/// Dequantize plain FP4 codes.
+pub fn dequantize_fp4(xs: &[Fp4]) -> Vec<f32> {
+    xs.iter().map(|x| x.to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unaligned_length() {
+        assert_eq!(
+            quantize_mx(&[0.0; 33]).unwrap_err(),
+            QuantError::BadLength { len: 33 }
+        );
+    }
+
+    #[test]
+    fn zero_block_roundtrips_exactly() {
+        let xs = [0.0f32; 32];
+        let back = dequantize_mx(&quantize_mx(&xs).unwrap());
+        assert_eq!(back, xs.to_vec());
+    }
+
+    #[test]
+    fn representable_values_roundtrip_exactly() {
+        // Values already on the FP4 lattice with a common scale survive.
+        let xs: Vec<f32> = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]
+            .iter()
+            .cycle()
+            .take(32)
+            .copied()
+            .collect();
+        let back = dequantize_mx(&quantize_mx(&xs).unwrap());
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn absolute_error_bounded_by_block_quantum() {
+        // FP4 with a shared block scale guarantees absolute error within half
+        // the coarsest lattice step: amax/6 is the scale unit, and the widest
+        // gap between representable magnitudes is 2 units (4 -> 6).
+        let xs: Vec<f32> = (1..=32).map(|i| i as f32 * 0.173).collect();
+        let blocks = quantize_mx(&xs).unwrap();
+        // Widest lattice gap is 2 (between 4 and 6), so worst-case absolute
+        // error is 1.0 in scale units.
+        let quantum = (blocks[0].scale_exp as f32).exp2();
+        let back = dequantize_mx(&blocks);
+        for (&x, &y) in xs.iter().zip(back.iter()) {
+            assert!((x - y).abs() <= quantum, "x={x} quantized to {y}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded_for_narrow_range_blocks() {
+        // When a block's values span < 2x dynamic range, FP4's ~1 mantissa
+        // bit bounds the relative error by ~25% (widest midpoint gaps).
+        let xs: Vec<f32> = (0..32).map(|i| 3.0 + i as f32 * 0.09).collect();
+        let back = dequantize_mx(&quantize_mx(&xs).unwrap());
+        for (&x, &y) in xs.iter().zip(back.iter()) {
+            assert!((x - y).abs() / x.abs() <= 0.25, "x={x} quantized to {y}");
+        }
+    }
+
+    #[test]
+    fn scale_handles_large_magnitudes() {
+        let xs = [1e20f32; 32];
+        let blocks = quantize_mx(&xs).unwrap();
+        let back = dequantize_mx(&blocks);
+        for &y in &back {
+            assert!(y.is_finite() && y > 0.0);
+            assert!((y / 1e20 - 1.0).abs() < 0.5, "y={y}");
+        }
+    }
+
+    #[test]
+    fn plain_fp4_roundtrip() {
+        let xs = [0.5f32, -1.5, 6.0, -0.0];
+        let back = dequantize_fp4(&quantize_fp4(&xs));
+        assert_eq!(back, vec![0.5, -1.5, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(quantize_mx(&[]).unwrap().is_empty());
+        assert!(dequantize_mx(&[]).is_empty());
+    }
+}

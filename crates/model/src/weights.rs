@@ -1,0 +1,305 @@
+//! Deterministic, seeded synthetic weight generation.
+//!
+//! The paper hardwires the released gpt-oss 120 B checkpoint. Published
+//! results depend on tensor *shapes* and on the *distribution* of FP4 codes
+//! (which sets POPCNT region sizing slack), not on the trained values, so a
+//! seeded synthetic checkpoint preserves every behaviour under study while
+//! remaining reproducible byte-for-byte across runs.
+//!
+//! Generation is lazy and per-matrix: a full 120 B-parameter model does not
+//! fit in memory, and none of the analyses need it materialized at once.
+
+use crate::config::{TransformerConfig, WeightKind, WeightMatrix};
+use crate::fp4::{Fp4, NUM_CODES};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr_normal::sample_standard_normal;
+
+/// A tiny embedded normal sampler (Box–Muller) so we only depend on `rand`.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Draw one standard-normal sample.
+    pub fn sample_standard_normal<R: Rng>(rng: &mut R) -> f32 {
+        // Box–Muller transform; discard the second output for simplicity.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    }
+}
+
+/// Deterministic weight generator.
+///
+/// The same `(seed, layer, kind)` triple always yields the same matrix.
+///
+/// # Example
+///
+/// ```
+/// use hnlpu_model::{WeightGenerator, WeightKind, WeightMatrix};
+/// let g = WeightGenerator::new(42);
+/// let m = WeightMatrix::new(WeightKind::Query, 64, 32);
+/// let a = g.matrix(0, &m);
+/// let b = g.matrix(0, &m);
+/// assert_eq!(a, b); // fully deterministic
+/// assert_eq!(a.len(), 64 * 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightGenerator {
+    seed: u64,
+}
+
+impl WeightGenerator {
+    /// Create a generator rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn rng_for(&self, layer: usize, kind: WeightKind) -> StdRng {
+        // Mix (seed, layer, kind-tag, expert) into a per-matrix stream.
+        let (tag, expert) = match kind {
+            WeightKind::Query => (1u64, 0u64),
+            WeightKind::Key => (2, 0),
+            WeightKind::Value => (3, 0),
+            WeightKind::Output => (4, 0),
+            WeightKind::Router => (5, 0),
+            WeightKind::ExpertUp { expert } => (6, expert as u64),
+            WeightKind::ExpertGate { expert } => (7, expert as u64),
+            WeightKind::ExpertDown { expert } => (8, expert as u64),
+        };
+        let mut s = self.seed;
+        for v in [layer as u64, tag, expert] {
+            // SplitMix64-style mixing.
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15 ^ v.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            s ^= s >> 30;
+            s = s.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            s ^= s >> 27;
+            s = s.wrapping_mul(0x94D0_49BB_1331_11EB);
+            s ^= s >> 31;
+        }
+        StdRng::seed_from_u64(s)
+    }
+
+    /// Generate the FP4 codes of one matrix (row-major).
+    pub fn matrix(&self, layer: usize, m: &WeightMatrix) -> Vec<Fp4> {
+        let mut rng = self.rng_for(layer, m.kind);
+        let scale = 1.8; // stretch N(0,1) over the FP4 lattice
+        (0..m.len())
+            .map(|_| Fp4::from_f32(sample_standard_normal(&mut rng) * scale))
+            .collect()
+    }
+
+    /// Generate one matrix dequantized to `f32` and rescaled to a typical
+    /// trained-weight magnitude (`1/sqrt(rows)`), for functional inference.
+    pub fn matrix_f32(&self, layer: usize, m: &WeightMatrix) -> Vec<f32> {
+        let norm = 1.0 / (m.rows as f32).sqrt() / 1.8;
+        self.matrix(layer, m)
+            .into_iter()
+            .map(|c| c.to_f32() * norm)
+            .collect()
+    }
+
+    /// Histogram of the 16 FP4 codes in one matrix, without retaining the
+    /// matrix. Drives POPCNT-region slack sizing in the ME compiler.
+    pub fn code_histogram(&self, layer: usize, m: &WeightMatrix) -> [u64; NUM_CODES] {
+        let mut hist = [0u64; NUM_CODES];
+        for c in self.matrix(layer, m) {
+            hist[c.code() as usize] += 1;
+        }
+        hist
+    }
+
+    /// Generate an embedding table (`vocab × hidden`) in `f32`.
+    pub fn embedding(&self, cfg: &TransformerConfig) -> Vec<f32> {
+        let mut rng = self.rng_for(usize::MAX, WeightKind::Router);
+        let n = cfg.vocab_size * cfg.hidden_size;
+        let norm = 1.0 / (cfg.hidden_size as f32).sqrt();
+        (0..n)
+            .map(|_| sample_standard_normal(&mut rng) * norm)
+            .collect()
+    }
+}
+
+/// All weights of one transformer layer, dequantized for functional use.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// `Wq` (`hidden × q_width`), row-major.
+    pub wq: Vec<f32>,
+    /// `Wk` (`hidden × kv_width`).
+    pub wk: Vec<f32>,
+    /// `Wv` (`hidden × kv_width`).
+    pub wv: Vec<f32>,
+    /// `Wo` (`q_width × hidden`).
+    pub wo: Vec<f32>,
+    /// Router (`hidden × num_experts`).
+    pub router: Vec<f32>,
+    /// Per-expert up projections (`hidden × intermediate`).
+    pub up: Vec<Vec<f32>>,
+    /// Per-expert gate projections (`hidden × intermediate`).
+    pub gate: Vec<Vec<f32>>,
+    /// Per-expert down projections (`intermediate × hidden`).
+    pub down: Vec<Vec<f32>>,
+}
+
+/// A fully materialized (necessarily small) model for functional tests.
+#[derive(Debug, Clone)]
+pub struct ModelWeights {
+    /// The architecture these weights belong to.
+    pub config: TransformerConfig,
+    /// Token embedding table (`vocab × hidden`); also used (transposed) as
+    /// the unembedding, as in weight-tied small models.
+    pub embedding: Vec<f32>,
+    /// Per-layer weights.
+    pub layers: Vec<LayerWeights>,
+}
+
+impl ModelWeights {
+    /// Materialize every weight of `cfg` from `gen`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is unreasonably large to materialize
+    /// (> 200 M parameters) — use the lazy [`WeightGenerator`] APIs instead.
+    pub fn materialize(cfg: &TransformerConfig, gen: &WeightGenerator) -> Self {
+        assert!(
+            cfg.total_params() < 200_000_000,
+            "refusing to materialize a {}-parameter model; use WeightGenerator lazily",
+            cfg.total_params()
+        );
+        let layers = (0..cfg.num_layers)
+            .map(|l| {
+                let h = cfg.hidden_size;
+                let q = cfg.attention.q_width();
+                let kv = cfg.attention.kv_width();
+                let i = cfg.moe.intermediate_size;
+                let e = cfg.moe.num_experts;
+                LayerWeights {
+                    wq: gen.matrix_f32(l, &WeightMatrix::new(WeightKind::Query, h, q)),
+                    wk: gen.matrix_f32(l, &WeightMatrix::new(WeightKind::Key, h, kv)),
+                    wv: gen.matrix_f32(l, &WeightMatrix::new(WeightKind::Value, h, kv)),
+                    wo: gen.matrix_f32(l, &WeightMatrix::new(WeightKind::Output, q, h)),
+                    router: gen.matrix_f32(l, &WeightMatrix::new(WeightKind::Router, h, e)),
+                    up: (0..e)
+                        .map(|x| {
+                            gen.matrix_f32(
+                                l,
+                                &WeightMatrix::expert(WeightKind::ExpertUp { expert: x }, h, i),
+                            )
+                        })
+                        .collect(),
+                    gate: (0..e)
+                        .map(|x| {
+                            gen.matrix_f32(
+                                l,
+                                &WeightMatrix::expert(WeightKind::ExpertGate { expert: x }, h, i),
+                            )
+                        })
+                        .collect(),
+                    down: (0..e)
+                        .map(|x| {
+                            gen.matrix_f32(
+                                l,
+                                &WeightMatrix::expert(WeightKind::ExpertDown { expert: x }, i, h),
+                            )
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        ModelWeights {
+            config: *cfg,
+            embedding: gen.embedding(cfg),
+            layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    fn small() -> TransformerConfig {
+        zoo::test_model().config
+    }
+
+    #[test]
+    fn deterministic_across_generators() {
+        let m = WeightMatrix::new(WeightKind::Key, 96, 32);
+        let a = WeightGenerator::new(7).matrix(3, &m);
+        let b = WeightGenerator::new(7).matrix(3, &m);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let m = WeightMatrix::new(WeightKind::Key, 96, 32);
+        let a = WeightGenerator::new(7).matrix(3, &m);
+        let b = WeightGenerator::new(8).matrix(3, &m);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_layers_differ() {
+        let m = WeightMatrix::new(WeightKind::Query, 96, 32);
+        let g = WeightGenerator::new(7);
+        assert_ne!(g.matrix(0, &m), g.matrix(1, &m));
+    }
+
+    #[test]
+    fn different_experts_differ() {
+        let g = WeightGenerator::new(7);
+        let a = WeightMatrix::expert(WeightKind::ExpertUp { expert: 0 }, 64, 64);
+        let b = WeightMatrix::expert(WeightKind::ExpertUp { expert: 1 }, 64, 64);
+        assert_ne!(g.matrix(0, &a), g.matrix(0, &b));
+    }
+
+    #[test]
+    fn histogram_counts_all_elements() {
+        let g = WeightGenerator::new(1);
+        let m = WeightMatrix::new(WeightKind::Query, 128, 64);
+        let h = g.code_histogram(0, &m);
+        assert_eq!(h.iter().sum::<u64>(), (128 * 64) as u64);
+    }
+
+    #[test]
+    fn histogram_uses_most_codes() {
+        // A N(0, 1.8) source quantized to FP4 should populate many codes.
+        let g = WeightGenerator::new(1);
+        let m = WeightMatrix::new(WeightKind::Query, 256, 256);
+        let h = g.code_histogram(0, &m);
+        let nonzero = h.iter().filter(|&&c| c > 0).count();
+        assert!(nonzero >= 12, "only {nonzero} codes used: {h:?}");
+    }
+
+    #[test]
+    fn materialize_small_model() {
+        let cfg = small();
+        let w = ModelWeights::materialize(&cfg, &WeightGenerator::new(3));
+        assert_eq!(w.layers.len(), cfg.num_layers);
+        assert_eq!(w.embedding.len(), cfg.vocab_size * cfg.hidden_size);
+        let l = &w.layers[0];
+        assert_eq!(l.wq.len(), cfg.hidden_size * cfg.attention.q_width());
+        assert_eq!(l.up.len(), cfg.moe.num_experts);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to materialize")]
+    fn materialize_refuses_huge_models() {
+        let cfg = zoo::gpt_oss_120b().config;
+        let _ = ModelWeights::materialize(&cfg, &WeightGenerator::new(0));
+    }
+
+    #[test]
+    fn f32_weights_have_sane_scale() {
+        let g = WeightGenerator::new(11);
+        let m = WeightMatrix::new(WeightKind::Query, 256, 64);
+        let w = g.matrix_f32(0, &m);
+        let rms = (w.iter().map(|x| x * x).sum::<f32>() / w.len() as f32).sqrt();
+        assert!(rms > 0.01 && rms < 0.2, "rms={rms}");
+    }
+}

@@ -1,0 +1,157 @@
+//! The simulated machine description.
+
+use hnlpu_model::TransformerConfig;
+use serde::Serialize;
+
+/// CXL 3.0 link parameters (§4.2: <100 ns latency, 128 GB/s per ×16 link).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CxlParams {
+    /// Port-to-port PHY latency, nanoseconds.
+    pub latency_ns: f64,
+    /// Per-message protocol/flit-packing overhead, nanoseconds (CNSim-style
+    /// protocol modeling; calibrated so a 4-chip all-reduce of a 2 KB
+    /// payload costs ~0.6 µs).
+    pub protocol_ns: f64,
+    /// Link bandwidth, bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl Default for CxlParams {
+    fn default() -> Self {
+        CxlParams {
+            latency_ns: 100.0,
+            protocol_ns: 190.0,
+            bandwidth_bytes_per_s: 128.0e9,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SimConfig {
+    /// Clock frequency, Hz.
+    pub clock_hz: f64,
+    /// Chip-grid rows (4).
+    pub grid_rows: u32,
+    /// Chip-grid columns (4).
+    pub grid_cols: u32,
+    /// Transformer layers (36 for gpt-oss; sets pipeline depth).
+    pub num_layers: u32,
+    /// Pipeline stages per layer (6, Figure 11).
+    pub stages_per_layer: u32,
+    /// Cycles for one HN-array projection (bit-serial scan; from the
+    /// embed crate's array plan — 135 at the calibrated operating point).
+    pub projection_cycles: u64,
+    /// Projections per layer that lie on the token's critical path
+    /// (QKV, Xo, router, up/gate in parallel, down = 5).
+    pub projections_per_layer: u32,
+    /// VEX nonlinear cycles per layer (RMSNorm + softmax + SwiGLU + misc).
+    pub nonlinear_cycles: u64,
+    /// Cached KV heads the VEX processes per cycle (§4.3: 32).
+    pub vex_kv_heads_per_cycle: u32,
+    /// Fraction of attention compute hidden under communication by
+    /// double-buffered overlap (the breakdown reports exposed time only).
+    pub attention_overlap: f64,
+    /// KV bytes per token per layer per chip (2 KV heads × 64 dims ×
+    /// (K + V) × fp8 = 256 B for gpt-oss on 4 columns).
+    pub kv_bytes_per_token_layer_chip: u64,
+    /// Attention-buffer sustained bandwidth, bytes/s (§7.1: 80 TB/s).
+    pub buffer_bw_bytes_per_s: f64,
+    /// Attention-buffer capacity, bytes (320 MB).
+    pub buffer_bytes: u64,
+    /// HBM capacity per module, bytes (192 GB).
+    pub hbm_bytes: u64,
+    /// HBM sustained bandwidth, bytes/s (8 stacks HBM3 ≈ 6.4 TB/s).
+    pub hbm_bw_bytes_per_s: f64,
+    /// Link parameters.
+    pub cxl: CxlParams,
+}
+
+impl SimConfig {
+    /// The paper's HNLPU for gpt-oss 120 B.
+    pub fn paper_default() -> Self {
+        SimConfig {
+            clock_hz: 1.0e9,
+            grid_rows: 4,
+            grid_cols: 4,
+            num_layers: 36,
+            stages_per_layer: 6,
+            projection_cycles: 135,
+            projections_per_layer: 5,
+            nonlinear_cycles: 135,
+            vex_kv_heads_per_cycle: 32,
+            attention_overlap: 0.58,
+            kv_bytes_per_token_layer_chip: 256,
+            buffer_bw_bytes_per_s: 80.0e12,
+            buffer_bytes: 20_000 * 16 * 1024,
+            hbm_bytes: 192 * 1024 * 1024 * 1024,
+            hbm_bw_bytes_per_s: 6.4e12,
+            cxl: CxlParams::default(),
+        }
+    }
+
+    /// Derive a config for an arbitrary model (layer count and KV geometry
+    /// from `cfg`, projection cycles supplied by the array plan).
+    pub fn for_model(cfg: &TransformerConfig, projection_cycles: u64) -> Self {
+        let mut c = Self::paper_default();
+        c.num_layers = cfg.num_layers as u32;
+        c.projection_cycles = projection_cycles;
+        let kv_heads_per_col = (cfg.attention.num_kv_heads as u32 / c.grid_cols).max(1);
+        c.kv_bytes_per_token_layer_chip =
+            (kv_heads_per_col as u64) * cfg.attention.head_dim as u64 * 2;
+        c
+    }
+
+    /// Total chips.
+    pub fn num_chips(&self) -> u32 {
+        self.grid_rows * self.grid_cols
+    }
+
+    /// Pipeline slots = stages × layers (216 for gpt-oss: the paper's
+    /// maximum batch size).
+    pub fn pipeline_slots(&self) -> u32 {
+        self.stages_per_layer * self.num_layers
+    }
+
+    /// Convert nanoseconds to clock cycles.
+    pub fn ns_to_cycles(&self, ns: f64) -> f64 {
+        ns * self.clock_hz / 1e9
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnlpu_model::zoo;
+
+    #[test]
+    fn paper_slots_are_216() {
+        assert_eq!(SimConfig::paper_default().pipeline_slots(), 216);
+    }
+
+    #[test]
+    fn sixteen_chips() {
+        assert_eq!(SimConfig::paper_default().num_chips(), 16);
+    }
+
+    #[test]
+    fn ns_conversion_at_1ghz() {
+        let c = SimConfig::paper_default();
+        assert_eq!(c.ns_to_cycles(100.0), 100.0);
+    }
+
+    #[test]
+    fn for_model_picks_up_layers_and_kv() {
+        let cfg = zoo::gpt_oss_120b().config;
+        let c = SimConfig::for_model(&cfg, 135);
+        assert_eq!(c.num_layers, 36);
+        // 2 KV heads per column x 64 dims x 2 bytes (K and V planes).
+        assert_eq!(c.kv_bytes_per_token_layer_chip, 256);
+    }
+}

@@ -1,0 +1,104 @@
+//! Collective-communication timing over the router-less row/column
+//! fully-connected CXL fabric (§4.2).
+//!
+//! Each chip has direct links to its 3 row peers and 3 column peers. A
+//! collective decomposes into *rounds*; each round is one message exchange:
+//! `latency + protocol + payload/bandwidth`.
+
+use crate::config::{CxlParams, SimConfig};
+
+/// Collective operations the Interconnect Engine supports (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Distribute identical data to a group.
+    Broadcast,
+    /// Aggregate partial sums to one member.
+    Reduce,
+    /// Reduce + redistribute (reduce round then broadcast round).
+    AllReduce,
+    /// Concatenate per-chip fragments on every member.
+    AllGather,
+    /// Distribute distinct fragments.
+    Scatter,
+}
+
+impl CollectiveKind {
+    /// Exchange rounds on a fully-connected group (direct links make each
+    /// phase a single simultaneous exchange).
+    pub fn rounds(self) -> u32 {
+        match self {
+            CollectiveKind::Broadcast
+            | CollectiveKind::Reduce
+            | CollectiveKind::AllGather
+            | CollectiveKind::Scatter => 1,
+            CollectiveKind::AllReduce => 2,
+        }
+    }
+}
+
+/// Time of one collective over a fully-connected group, nanoseconds.
+///
+/// `bytes` is the per-chip payload. In each round every chip streams its
+/// payload to the `group - 1` peers over independent links; serialization is
+/// therefore one payload per link.
+pub fn collective_ns(kind: CollectiveKind, bytes: u64, cxl: &CxlParams) -> f64 {
+    let per_round =
+        cxl.latency_ns + cxl.protocol_ns + bytes as f64 / cxl.bandwidth_bytes_per_s * 1e9;
+    kind.rounds() as f64 * per_round
+}
+
+/// Collective time in clock cycles.
+pub fn collective_cycles(kind: CollectiveKind, bytes: u64, cfg: &SimConfig) -> f64 {
+    cfg.ns_to_cycles(collective_ns(kind, bytes, &cfg.cxl))
+}
+
+/// An all-chip (16-way) all-reduce = row all-reduce then column all-reduce.
+pub fn all_chip_all_reduce_cycles(bytes: u64, cfg: &SimConfig) -> f64 {
+    2.0 * collective_cycles(CollectiveKind::AllReduce, bytes, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_reduce_is_two_rounds() {
+        assert_eq!(CollectiveKind::AllReduce.rounds(), 2);
+        assert_eq!(CollectiveKind::Broadcast.rounds(), 1);
+    }
+
+    #[test]
+    fn small_allreduce_costs_about_600ns() {
+        // Calibration anchor: 2 KB col-group all-reduce ~0.6 µs.
+        let ns = collective_ns(CollectiveKind::AllReduce, 2048, &CxlParams::default());
+        assert!((550.0..680.0).contains(&ns), "ns = {ns}");
+    }
+
+    #[test]
+    fn payload_grows_time_linearly() {
+        let cxl = CxlParams::default();
+        let small = collective_ns(CollectiveKind::Reduce, 1024, &cxl);
+        let big = collective_ns(CollectiveKind::Reduce, 1024 + 128 * 1024, &cxl);
+        let delta = big - small;
+        assert!(
+            (delta - 128.0 * 1024.0 / 128e9 * 1e9).abs() < 1.0,
+            "delta = {delta}"
+        );
+    }
+
+    #[test]
+    fn sixteen_way_allreduce_is_two_phases() {
+        let cfg = SimConfig::paper_default();
+        let one = collective_cycles(CollectiveKind::AllReduce, 4096, &cfg);
+        let all = all_chip_all_reduce_cycles(4096, &cfg);
+        assert!((all - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_floor_dominates_tiny_payloads() {
+        let cxl = CxlParams::default();
+        let a = collective_ns(CollectiveKind::Reduce, 1, &cxl);
+        let b = collective_ns(CollectiveKind::Reduce, 512, &cxl);
+        assert!((b - a) / a < 0.05);
+    }
+}

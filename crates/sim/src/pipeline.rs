@@ -1,0 +1,308 @@
+//! Per-layer timing, pipeline advance interval, throughput, and the
+//! Figure-14 execution-time breakdown.
+//!
+//! Model recap (derived in EXPERIMENTS.md):
+//!
+//! * All 36 layers live on the same 16 chips. HN arrays are per-layer
+//!   dedicated silicon, but the CXL links, the VEX attention engine, and
+//!   the nonlinear units are shared by every pipeline slot, so the pipeline
+//!   advance interval is set by the most-occupied shared resource.
+//! * Per layer, a token performs 13 collective rounds (QKV all-reduce,
+//!   two attention all-reduces, the Xo row-all-reduce + column-all-gather,
+//!   and the final 16-chip Y all-reduce) — ~4 µs of link occupancy, which
+//!   dominates at short contexts (Figure 14's 82.9% at 2 K).
+//! * Attention streams the chip's KV slice through the VEX at 32 KV heads
+//!   per cycle; 58% of that streaming hides under the adjacent collectives,
+//!   so the breakdown exposes 42% of it.
+//! * Past ~400 K context the KV prefetch staging within the double-buffer
+//!   horizon no longer fits the 320 MB Attention Buffer and the shortfall
+//!   streams from HBM — the Figure-14 "stall" component.
+
+use crate::config::SimConfig;
+use crate::fabric::{all_chip_all_reduce_cycles, collective_cycles, CollectiveKind};
+use crate::hbm::KvCacheModel;
+use serde::Serialize;
+
+/// Per-token, per-layer execution-time components, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LayerTiming {
+    /// Inter-chip CXL communication.
+    pub comm: f64,
+    /// HN-array projections (QKV, Xo, router, up/gate, down).
+    pub projection: f64,
+    /// Nonlinear operations (RMSNorm, softmax, SwiGLU, sampling share).
+    pub nonlinear: f64,
+    /// Exposed attention computation on the VEX.
+    pub attention: f64,
+    /// Memory-access stall (KV spill to HBM).
+    pub stall: f64,
+}
+
+impl LayerTiming {
+    /// Compute the layer timing at `context` tokens.
+    pub fn compute(cfg: &SimConfig, context: u64) -> Self {
+        LayerTiming {
+            comm: per_layer_comm_cycles(cfg),
+            projection: (cfg.projections_per_layer as u64 * cfg.projection_cycles) as f64,
+            nonlinear: cfg.nonlinear_cycles as f64,
+            attention: attention_raw_cycles(cfg, context) * (1.0 - cfg.attention_overlap),
+            stall: stall_cycles(cfg, context),
+        }
+    }
+
+    /// Total exposed cycles per token per layer.
+    pub fn total(&self) -> f64 {
+        self.comm + self.projection + self.nonlinear + self.attention + self.stall
+    }
+}
+
+/// The 13 collective rounds of one transformer layer (Figure 10/11).
+pub fn per_layer_comm_cycles(cfg: &SimConfig) -> f64 {
+    let h = 2880u64; // payloads below scale with the gpt-oss shapes
+    let fused_qkv = 2 * (1024 + 128 + 128); // fp16 partial sums, col group
+    let attn_stats = 2 * (2 * 8 * 64) + 64; // flash-attention partials
+    let attn_out = 2 * (2 * 8 * 64);
+    let xo_partial = 2 * (h / 4);
+    let y = 2 * h;
+    collective_cycles(CollectiveKind::AllReduce, fused_qkv, cfg)
+        + collective_cycles(CollectiveKind::AllReduce, attn_stats as u64, cfg)
+        + collective_cycles(CollectiveKind::AllReduce, attn_out as u64, cfg)
+        + collective_cycles(CollectiveKind::AllReduce, xo_partial, cfg)
+        + collective_cycles(CollectiveKind::AllGather, xo_partial, cfg)
+        + all_chip_all_reduce_cycles(y, cfg)
+}
+
+/// Raw (pre-overlap) VEX attention cycles for one token of one layer:
+/// the chip's context slice × its KV heads × two passes (QKᵀ and ZV),
+/// streamed at `vex_kv_heads_per_cycle`.
+pub fn attention_raw_cycles(cfg: &SimConfig, context: u64) -> f64 {
+    let per_chip_context = context as f64 / cfg.grid_cols as f64;
+    let kv_heads_per_col = 2.0; // gpt-oss: 8 KV heads over 4 columns
+    2.0 * per_chip_context * kv_heads_per_col / cfg.vex_kv_heads_per_cycle as f64
+}
+
+/// KV-spill stall cycles (see [`KvCacheModel`]).
+pub fn stall_cycles(cfg: &SimConfig, context: u64) -> f64 {
+    let kv = KvCacheModel::new(cfg);
+    let exposed = attention_raw_cycles(cfg, context) * (1.0 - cfg.attention_overlap);
+    exposed * kv.spill_fraction(context)
+}
+
+/// The Figure-14 per-token breakdown at one context length.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Breakdown {
+    /// Context length in tokens.
+    pub context: u64,
+    /// Per-layer timing.
+    pub layer: LayerTiming,
+    /// Percentage shares `(comm, projection, nonlinear, attention, stall)`.
+    pub shares: [f64; 5],
+}
+
+impl Breakdown {
+    /// Compute the breakdown at `context`.
+    pub fn at(cfg: &SimConfig, context: u64) -> Self {
+        let layer = LayerTiming::compute(cfg, context);
+        let t = layer.total();
+        Breakdown {
+            context,
+            layer,
+            shares: [
+                layer.comm / t * 100.0,
+                layer.projection / t * 100.0,
+                layer.nonlinear / t * 100.0,
+                layer.attention / t * 100.0,
+                layer.stall / t * 100.0,
+            ],
+        }
+    }
+
+    /// The paper's Figure-14 sweep: 2 K – 512 K.
+    pub fn figure14(cfg: &SimConfig) -> Vec<Breakdown> {
+        [2048u64, 8192, 65_536, 131_072, 262_144, 524_288]
+            .into_iter()
+            .map(|c| Breakdown::at(cfg, c))
+            .collect()
+    }
+
+    /// Render a sweep as an ASCII stacked-bar chart (one row per context).
+    pub fn render_ascii(sweep: &[Breakdown]) -> String {
+        let mut s = String::from(
+            "Execution-time breakdown per token (C=CXL comm, P=projection, n=nonlinear, A=attention, S=stall)\n",
+        );
+        for b in sweep {
+            let label = if b.context >= 1024 {
+                format!("{:>4}K", b.context / 1024)
+            } else {
+                format!("{:>5}", b.context)
+            };
+            let mut bar = String::new();
+            for (share, ch) in b.shares.iter().zip(['C', 'P', 'n', 'A', 'S']) {
+                let cells = (share / 2.0).round() as usize;
+                bar.extend(std::iter::repeat_n(ch, cells));
+            }
+            s.push_str(&format!("{label} |{bar:<50}| 100%\n"));
+        }
+        s
+    }
+}
+
+/// Pipeline advance interval in cycles: the most-occupied shared resource.
+pub fn advance_interval_cycles(cfg: &SimConfig, context: u64) -> f64 {
+    let comm = per_layer_comm_cycles(cfg);
+    // VEX attention engine: every layer contributes one token's raw
+    // attention per interval.
+    let vex = cfg.num_layers as f64 * attention_raw_cycles(cfg, context);
+    // Dedicated nonlinear modules (RMSNorm / softmax / SwiGLU run on
+    // separate units): each sees a third of the nonlinear work per layer.
+    let nonlin = cfg.num_layers as f64 * cfg.nonlinear_cycles as f64 / 3.0;
+    // HN arrays are per-layer silicon: a projection only needs to finish
+    // within the interval, never aggregates across layers.
+    let proj = (cfg.projections_per_layer as u64 * cfg.projection_cycles) as f64
+        / cfg.projections_per_layer as f64;
+    comm.max(vex).max(nonlin).max(proj)
+}
+
+/// Steady-state decode throughput, tokens per second, at full batch.
+pub fn decode_throughput(cfg: &SimConfig, context: u64) -> f64 {
+    cfg.clock_hz / advance_interval_cycles(cfg, context)
+}
+
+/// Latency of one token through all layers (exposed time), seconds.
+pub fn token_latency_s(cfg: &SimConfig, context: u64) -> f64 {
+    cfg.num_layers as f64 * LayerTiming::compute(cfg, context).total() / cfg.clock_hz
+}
+
+/// Time to first token for a `prompt_len` prompt on an otherwise idle
+/// machine: the prompt prefills at pipeline width (216 tokens per advance
+/// interval), then the first decode token traverses the pipeline once.
+pub fn time_to_first_token_s(cfg: &SimConfig, prompt_len: u64) -> f64 {
+    let interval = advance_interval_cycles(cfg, prompt_len.max(1));
+    let prefill_rounds = prompt_len.div_ceil(cfg.pipeline_slots() as u64);
+    let prefill_s = prefill_rounds as f64 * cfg.pipeline_slots() as f64 * interval / cfg.clock_hz;
+    prefill_s + token_latency_s(cfg, prompt_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig::paper_default()
+    }
+
+    #[test]
+    fn throughput_at_2k_matches_table2() {
+        // Table 2: 249,960 tokens/s.
+        let t = decode_throughput(&cfg(), 2048);
+        assert!(
+            (t - 249_960.0).abs() / 249_960.0 < 0.05,
+            "throughput = {t:.0}"
+        );
+    }
+
+    #[test]
+    fn comm_dominates_at_short_context() {
+        let b = Breakdown::at(&cfg(), 2048);
+        assert!(
+            (b.shares[0] - 82.9).abs() < 2.0,
+            "comm share = {}",
+            b.shares[0]
+        );
+        assert!(
+            (b.shares[1] - 13.8).abs() < 1.5,
+            "proj share = {}",
+            b.shares[1]
+        );
+    }
+
+    #[test]
+    fn figure14_shares_match_paper() {
+        // Paper Figure 14: (context, comm%, proj%, attention%).
+        let expect = [
+            (2048u64, 82.9, 13.8, 0.0),
+            (8192, 81.5, 13.6, 0.0),
+            (65_536, 70.8, 11.8, 15.1),
+            (131_072, 61.5, 10.2, 26.2),
+            (262_144, 48.7, 8.1, 41.6),
+            (524_288, 30.7, 5.1, 52.4),
+        ];
+        for (ctx, comm, proj, attn) in expect {
+            let b = Breakdown::at(&cfg(), ctx);
+            assert!(
+                (b.shares[0] - comm).abs() < 2.0,
+                "ctx {ctx}: comm {} vs {comm}",
+                b.shares[0]
+            );
+            assert!(
+                (b.shares[1] - proj).abs() < 1.5,
+                "ctx {ctx}: proj {} vs {proj}",
+                b.shares[1]
+            );
+            if attn > 0.0 {
+                assert!(
+                    (b.shares[3] - attn).abs() < 2.5,
+                    "ctx {ctx}: attn {} vs {attn}",
+                    b.shares[3]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stall_appears_only_past_256k() {
+        let c = cfg();
+        assert_eq!(LayerTiming::compute(&c, 262_144).stall, 0.0);
+        let b = Breakdown::at(&c, 524_288);
+        assert!(
+            (b.shares[4] - 10.7).abs() < 3.0,
+            "stall share at 512K = {}",
+            b.shares[4]
+        );
+    }
+
+    #[test]
+    fn attention_becomes_dominant_at_512k() {
+        let b = Breakdown::at(&cfg(), 524_288);
+        assert!(
+            b.shares[3] > b.shares[0],
+            "attention should dominate: {b:?}"
+        );
+    }
+
+    #[test]
+    fn throughput_degrades_at_long_context() {
+        let c = cfg();
+        let short = decode_throughput(&c, 2048);
+        let long = decode_throughput(&c, 524_288);
+        assert!(long < short / 10.0, "short={short:.0} long={long:.0}");
+    }
+
+    #[test]
+    fn latency_is_breakdown_times_layers() {
+        let c = cfg();
+        let lat = token_latency_s(&c, 2048);
+        let per_layer = LayerTiming::compute(&c, 2048).total();
+        assert!((lat - 36.0 * per_layer / 1e9).abs() < 1e-12);
+        // ~170 µs per token through 36 layers at 2 K.
+        assert!(lat > 50e-6 && lat < 500e-6, "latency = {lat}");
+    }
+
+    #[test]
+    fn ttft_grows_with_prompt_length() {
+        let c = cfg();
+        let short = time_to_first_token_s(&c, 128);
+        let long = time_to_first_token_s(&c, 16 * 1024);
+        assert!(long > short);
+        // A chat-size prompt answers in well under a second.
+        assert!(short < 1.0, "TTFT = {short}");
+    }
+
+    #[test]
+    fn shares_sum_to_100() {
+        for b in Breakdown::figure14(&cfg()) {
+            let sum: f64 = b.shares.iter().sum();
+            assert!((sum - 100.0).abs() < 1e-6, "ctx {}: sum {sum}", b.context);
+        }
+    }
+}

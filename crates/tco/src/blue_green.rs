@@ -1,0 +1,89 @@
+//! Blue-green model updates (§8 "Model Updates"): when a new model is
+//! validated on GPU testbeds, "green" HNLPUs are manufactured while the
+//! "blue" fleet keeps serving; traffic cuts over when the green fleet is
+//! ready. Estimated turnaround is 6–8 weeks per re-spin.
+
+use crate::assumptions::Assumptions;
+use hnlpu_litho::nre::{NreScenario, NreSummary};
+use hnlpu_litho::CostRange;
+
+/// One blue-green update cycle for a fleet of `systems` machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlueGreenPlan {
+    /// Fleet size being updated.
+    pub systems: u32,
+    /// Re-spin manufacturing cost of the green fleet.
+    pub respin_cost: CostRange,
+    /// Turnaround from mask release to cut-over, weeks.
+    pub turnaround_weeks: CostRange,
+    /// Extra electricity while blue and green overlap during validation
+    /// and ramp (the overlap window), USD.
+    pub overlap_electricity: CostRange,
+}
+
+impl BlueGreenPlan {
+    /// Plan one update for `systems` machines with the paper's 6–8-week
+    /// turnaround and an `overlap_days` dual-running window.
+    ///
+    /// `facility_w_per_system` is one machine's datacenter power
+    /// (~10 kW for the gpt-oss HNLPU).
+    pub fn plan(
+        systems: u32,
+        overlap_days: f64,
+        facility_w_per_system: f64,
+        a: &Assumptions,
+    ) -> Self {
+        let nre = NreSummary::price(NreScenario::gpt_oss(systems));
+        let overlap_kwh = systems as f64 * facility_w_per_system / 1000.0 * overlap_days * 24.0;
+        BlueGreenPlan {
+            systems,
+            respin_cost: nre.respin(),
+            turnaround_weeks: CostRange::new(6.0, 8.0),
+            overlap_electricity: CostRange::exact(overlap_kwh * a.electricity_usd_per_kwh),
+        }
+    }
+
+    /// Total cost of the update cycle.
+    pub fn total(&self) -> CostRange {
+        self.respin_cost + self.overlap_electricity
+    }
+
+    /// Service downtime: zero by construction — that is the point of
+    /// blue-green.
+    pub fn downtime_s(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_volume_update_is_respin_dominated() {
+        let a = Assumptions::paper();
+        let plan = BlueGreenPlan::plan(1, 14.0, 10_000.0, &a);
+        // Two weeks of 10 kW dual-running: ~$320 of electricity —
+        // negligible against the ~$18.5M–$37M re-spin.
+        assert!(plan.overlap_electricity.mid() < 1_000.0);
+        assert!(plan.total().low > 18.0e6);
+        assert_eq!(plan.downtime_s(), 0.0);
+    }
+
+    #[test]
+    fn turnaround_matches_paper() {
+        let a = Assumptions::paper();
+        let plan = BlueGreenPlan::plan(1, 7.0, 10_000.0, &a);
+        assert_eq!(plan.turnaround_weeks, CostRange::new(6.0, 8.0));
+    }
+
+    #[test]
+    fn fleet_scale_raises_cost_sublinearly() {
+        let a = Assumptions::paper();
+        let one = BlueGreenPlan::plan(1, 7.0, 10_000.0, &a).total().mid();
+        let fifty = BlueGreenPlan::plan(50, 7.0, 10_000.0, &a).total().mid();
+        // Masks are shared; only wafers scale.
+        assert!(fifty < 50.0 * one / 10.0, "one={one} fifty={fifty}");
+        assert!(fifty > one);
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerate the paper-vs-measured tables that EXPERIMENTS.md embeds.
+//!
+//! Run with: `cargo run --release -p hnlpu --example generate_reports`
+
+use hnlpu::experiments;
+
+fn main() {
+    for report in experiments::all() {
+        println!("{}", report.render_markdown());
+        println!("*max deviation: {:.1}%*\n", report.max_deviation_pct());
+    }
+}

@@ -1,0 +1,72 @@
+//! The Metal-Embedding compiler flow (§3.2): take a weight matrix, allocate
+//! prefab accumulator slices, place one embedding wire per weight on the
+//! M8–M11 layers, verify routing density, and emit the ECO script excerpt
+//! that would be handed back to the P&R tool.
+//!
+//! Run with: `cargo run --release -p hnlpu --example metal_embedding_compiler`
+
+use hnlpu::embed::array::MeNeuronParams;
+use hnlpu::embed::MeCompiler;
+use hnlpu::model::{WeightGenerator, WeightKind, WeightMatrix};
+
+fn main() {
+    let compiler = MeCompiler::new(MeNeuronParams::array_default());
+    let gen = WeightGenerator::new(7);
+
+    // A gpt-oss attention key projection slice: 2880 x 128.
+    let matrix = WeightMatrix::new(WeightKind::Key, 2880, 128);
+    println!(
+        "compiling {}x{} FP4 matrix into the Sea-of-Neurons prefab...",
+        matrix.rows, matrix.cols
+    );
+    let weights = gen.matrix(0, &matrix);
+    let compiled = compiler
+        .compile_weights(&matrix, &weights)
+        .expect("realistic weights fit the prefab provisioning");
+
+    println!("\n--- compilation report ---");
+    println!("embedding wires placed:   {}", compiled.wires);
+    println!("grounded (slack) ports:   {}", compiled.grounded_ports);
+    println!(
+        "array footprint:          {:.4} mm²",
+        compiled.footprint_mm2
+    );
+    println!(
+        "avg embedding net length: {:.2} µm",
+        compiled.avg_net_length_um
+    );
+    println!("\nper-layer routing utilization (congestion limit 70%):");
+    for (layer, util) in &compiled.route.utilization {
+        println!("  {layer:>5}: {:5.1}%", util * 100.0);
+    }
+    println!(
+        "congestion-free: {} (peak {:.1}%)",
+        compiled.route.congestion_free,
+        compiled.route.peak_utilization * 100.0
+    );
+
+    let alloc = &compiled.allocations[0];
+    println!("\nneuron 0 slice allocation (16 FP4-value regions):");
+    println!("  slices per region: {:?}", alloc.slices_per_region);
+    println!(
+        "  spare slices: {} of {} ({}-input slices)",
+        alloc.spare_slices(),
+        alloc.pool.slices,
+        alloc.pool.slice_inputs
+    );
+
+    println!(
+        "\n--- ECO script excerpt (first 8 of {} nets) ---",
+        compiled.wires
+    );
+    print!("{}", compiled.tcl_script(&weights, 8));
+
+    // And the failure path: a weight matrix no prefab can absorb.
+    println!("\n--- pathological input (all weights identical) ---");
+    let bad = vec![hnlpu::model::Fp4::from_f32(6.0); matrix.rows];
+    let single = WeightMatrix::new(WeightKind::Key, matrix.rows, 1);
+    match compiler.compile_weights(&single, &bad) {
+        Ok(_) => println!("unexpectedly compiled"),
+        Err(e) => println!("rejected as expected: {e}"),
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: design the paper's HNLPU for gpt-oss 120 B and print its
+//! headline characteristics next to the baselines.
+//!
+//! Run with: `cargo run --release -p hnlpu --example quickstart`
+
+use hnlpu::model::zoo;
+use hnlpu::sim::Breakdown;
+use hnlpu::tco::{DeploymentScale, UpdatePolicy};
+use hnlpu::HnlpuSystem;
+
+fn main() {
+    let system = HnlpuSystem::design(zoo::gpt_oss_120b());
+
+    println!("=== HNLPU for {} ===", system.model().name);
+    println!("chips:            {}", system.num_chips());
+    println!(
+        "chip area:        {:.2} mm²  (paper: 827.08)",
+        system.chip_report().total_area_mm2()
+    );
+    println!(
+        "chip power:       {:.2} W    (paper: 308.39)",
+        system.chip_report().total_power_w()
+    );
+    println!(
+        "total silicon:    {:.0} mm²  (paper: 13,232)",
+        system.silicon_mm2()
+    );
+    println!();
+
+    println!("--- Table 2: system comparison at 2K context ---");
+    println!(
+        "{:<8} {:>16} {:>14} {:>12} {:>16}",
+        "system", "tokens/s", "silicon mm²", "power kW", "tokens/kJ"
+    );
+    for row in system.table2(2048) {
+        println!(
+            "{:<8} {:>16.0} {:>14.0} {:>12.2} {:>16.1}",
+            row.name,
+            row.throughput_tokens_per_s,
+            row.silicon_mm2,
+            row.power_w / 1000.0,
+            row.tokens_per_kj()
+        );
+    }
+    println!();
+
+    println!("--- Figure 14: execution-time breakdown vs context ---");
+    print!("{}", Breakdown::render_ascii(&system.figure14()));
+    println!();
+
+    println!("--- Economics ---");
+    let nre = system.nre(1);
+    println!("initial build (1 system):  {}", nre.initial_build());
+    println!("weight-update re-spin:     {}", nre.respin());
+    let t3 = system.table3(DeploymentScale::High);
+    let (lo, hi) = t3.tco_advantage(UpdatePolicy::AnnualUpdates);
+    println!("3-year TCO advantage vs H100 cluster (annual updates): {lo:.1}x – {hi:.1}x");
+    println!(
+        "carbon advantage: {:.0}x",
+        system
+            .table3(DeploymentScale::Low)
+            .carbon_advantage(UpdatePolicy::AnnualUpdates)
+    );
+}

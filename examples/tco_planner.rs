@@ -1,0 +1,126 @@
+//! TCO planning: regenerate Table 3 and find the deployment volume where
+//! HNLPU breaks even against an H100 cluster.
+//!
+//! Run with: `cargo run --release -p hnlpu --example tco_planner`
+
+use hnlpu::litho::nre::{NreScenario, NreSummary};
+use hnlpu::tco::sensitivity::{sweep, Knob};
+use hnlpu::tco::{Assumptions, DeploymentScale, Table3, UpdatePolicy};
+
+fn print_table3(scale: DeploymentScale, label: &str) {
+    let t = Table3::paper(scale);
+    println!("--- {label} ---");
+    println!("{:<34} {:>26} {:>18}", "", "HNLPU", "H100");
+    println!(
+        "{:<34} {:>26} {:>18}",
+        "datacenter power (MW)",
+        format!("{:.3}", t.hnlpu.facility_power_w / 1e6),
+        format!("{:.2}", t.h100.facility_power_w / 1e6),
+    );
+    println!(
+        "{:<34} {:>26} {:>18}",
+        "node price",
+        t.hnlpu.node_price.to_string(),
+        t.h100.node_price.to_string()
+    );
+    println!(
+        "{:<34} {:>26} {:>18}",
+        "datacenter infrastructure",
+        t.hnlpu.infrastructure.to_string(),
+        t.h100.infrastructure.to_string()
+    );
+    println!(
+        "{:<34} {:>26} {:>18}",
+        "total initial CapEx",
+        t.hnlpu.initial_capex().to_string(),
+        t.h100.initial_capex().to_string()
+    );
+    println!(
+        "{:<34} {:>26} {:>18}",
+        "update re-spin cost (2x)",
+        t.hnlpu.respin_cost.to_string(),
+        t.h100.respin_cost.to_string()
+    );
+    println!(
+        "{:<34} {:>26} {:>18}",
+        "electricity (3 yr)",
+        t.hnlpu.electricity.to_string(),
+        t.h100.electricity.to_string()
+    );
+    println!(
+        "{:<34} {:>26} {:>18}",
+        "maintenance & support (3 yr)",
+        t.hnlpu.maintenance.to_string(),
+        t.h100.maintenance.to_string()
+    );
+    for (policy, name) in [
+        (UpdatePolicy::Static, "TCO (static model)"),
+        (UpdatePolicy::AnnualUpdates, "TCO (annual updates)"),
+    ] {
+        println!(
+            "{:<34} {:>26} {:>18}",
+            name,
+            t.hnlpu.tco(policy).to_string(),
+            t.h100.tco(policy).to_string()
+        );
+    }
+    println!(
+        "{:<34} {:>26} {:>18}",
+        "emissions static/dynamic (tCO2e)",
+        format!("{:.0} / {:.0}", t.hnlpu.tco2e_static, t.hnlpu.tco2e_dynamic),
+        format!("{:.0}", t.h100.tco2e_static)
+    );
+    let (lo, hi) = t.tco_advantage(UpdatePolicy::AnnualUpdates);
+    println!("TCO advantage (annual updates): {lo:.1}x – {hi:.1}x");
+    println!(
+        "carbon advantage: {:.0}x\n",
+        t.carbon_advantage(UpdatePolicy::AnnualUpdates)
+    );
+}
+
+fn main() {
+    println!("=== Table 3: 3-year TCO, HNLPU vs equivalently-provisioned H100 ===\n");
+    print_table3(
+        DeploymentScale::Low,
+        "Low volume: 1 HNLPU node = 2,000 H100s",
+    );
+    print_table3(
+        DeploymentScale::High,
+        "High volume: 50 HNLPU nodes = 100,000 H100s (OpenAI-scale)",
+    );
+
+    println!("=== NRE amortization vs build volume ===");
+    println!(
+        "{:>8} {:>26} {:>22}",
+        "systems", "total initial build", "per-system midpoint"
+    );
+    let a = Assumptions::paper();
+    let _ = a;
+    for systems in [1u32, 2, 5, 10, 50, 200] {
+        let nre = NreSummary::price(NreScenario::gpt_oss(systems));
+        let total = nre.initial_build();
+        println!(
+            "{:>8} {:>26} {:>20.1}M",
+            systems,
+            total.to_string(),
+            total.mid() / systems as f64 / 1e6
+        );
+    }
+    println!(
+        "\nThe one-time masks and design dominate at low volume; by ~50 systems\n\
+         the per-system cost approaches the recurring chip cost — the paper's\n\
+         amortization argument in §8 (Inference Volume).\n"
+    );
+
+    println!("=== Sensitivity: high-volume TCO advantage vs assumption swings ===");
+    println!("{:>20} {:>8} {:>20}", "knob", "x", "advantage (lo-hi)");
+    for knob in [Knob::ElectricityPrice, Knob::Pue, Knob::MaintenanceRate] {
+        for p in sweep(knob, &[0.5, 1.0, 1.5]) {
+            println!(
+                "{:>20} {:>8.2} {:>13.1}x-{:.1}x",
+                p.parameter, p.multiplier, p.advantage.0, p.advantage.1
+            );
+        }
+    }
+    println!("(No single Appendix-B knob overturns the orders-of-magnitude conclusion.)");
+}

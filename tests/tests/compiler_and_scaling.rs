@@ -1,0 +1,126 @@
+//! Metal-Embedding compiler coverage over every gpt-oss matrix kind, and
+//! scaling-law properties across the model zoo and simulator.
+
+use hnlpu::embed::array::MeNeuronParams;
+use hnlpu::embed::MeCompiler;
+use hnlpu::litho::nre::{chips_for_model, model_nre_price};
+use hnlpu::model::{zoo, WeightGenerator, WeightKind, WeightMatrix};
+use hnlpu::sim::{pipeline, SimConfig};
+use proptest::prelude::*;
+
+#[test]
+fn every_gpt_oss_matrix_kind_compiles() {
+    let cfg = zoo::gpt_oss_120b().config;
+    let compiler = MeCompiler::new(MeNeuronParams::array_default());
+    let gen = WeightGenerator::new(11);
+    // One representative (column-sliced) matrix per kind; expert matrices
+    // are sampled rather than exhaustive.
+    let h = cfg.hidden_size;
+    let cases = vec![
+        WeightMatrix::new(WeightKind::Query, h, cfg.attention.q_width() / 16),
+        WeightMatrix::new(WeightKind::Key, h, cfg.attention.kv_width() / 4),
+        WeightMatrix::new(WeightKind::Value, h, cfg.attention.kv_width() / 4),
+        WeightMatrix::new(WeightKind::Output, cfg.attention.q_width() / 4, h / 16),
+        WeightMatrix::new(WeightKind::Router, h, cfg.moe.num_experts),
+        WeightMatrix::expert(
+            WeightKind::ExpertUp { expert: 0 },
+            h,
+            cfg.moe.intermediate_size / 8,
+        ),
+        WeightMatrix::expert(
+            WeightKind::ExpertGate { expert: 7 },
+            h,
+            cfg.moe.intermediate_size / 8,
+        ),
+        WeightMatrix::expert(
+            WeightKind::ExpertDown { expert: 99 },
+            cfg.moe.intermediate_size,
+            h / 8,
+        ),
+    ];
+    for m in cases {
+        let compiled = compiler
+            .compile(&gen, 0, &m)
+            .unwrap_or_else(|e| panic!("{:?} failed: {e}", m.kind));
+        assert_eq!(compiled.wires, m.len() as u64, "{:?}", m.kind);
+        assert!(compiled.route.congestion_free, "{:?} congested", m.kind);
+        assert!(
+            compiled.route.peak_utilization < 0.70,
+            "{:?} exceeds the paper's 70% density bound",
+            m.kind
+        );
+        // Allocation covers the histogram exactly: capacity >= counts.
+        let hist = gen.code_histogram(0, &m);
+        for alloc in compiled.allocations.iter().take(4) {
+            for code in 0..16u8 {
+                // Per-neuron histograms differ from the matrix histogram;
+                // just assert the invariant that granted capacity is a
+                // multiple of the slice size and non-negative.
+                assert_eq!(alloc.region_capacity(code) % alloc.pool.slice_inputs, 0);
+            }
+        }
+        let _ = hist;
+    }
+}
+
+#[test]
+fn nre_is_monotone_in_model_size() {
+    let mut priced: Vec<(u64, f64)> = zoo::all_models()
+        .into_iter()
+        .map(|card| {
+            (
+                card.weight_bits(),
+                model_nre_price(&card).initial_build().mid(),
+            )
+        })
+        .collect();
+    priced.sort_by_key(|(bits, _)| *bits);
+    for pair in priced.windows(2) {
+        assert!(pair[1].1 >= pair[0].1, "NRE not monotone: {pair:?}");
+    }
+}
+
+#[test]
+fn chips_are_monotone_in_weight_bits() {
+    assert!(chips_for_model(&zoo::kimi_k2()) > chips_for_model(&zoo::deepseek_v3()));
+    assert!(chips_for_model(&zoo::deepseek_v3()) > chips_for_model(&zoo::gpt_oss_120b()));
+    assert!(chips_for_model(&zoo::gpt_oss_120b()) > chips_for_model(&zoo::llama3_8b()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Decode throughput is non-increasing in context length.
+    #[test]
+    fn throughput_monotone_in_context(a in 1024u64..500_000, b in 1024u64..500_000) {
+        let cfg = SimConfig::paper_default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            pipeline::decode_throughput(&cfg, lo) >= pipeline::decode_throughput(&cfg, hi) - 1e-6
+        );
+    }
+
+    /// Per-token breakdown shares always sum to 100%.
+    #[test]
+    fn breakdown_shares_sum(ctx in 512u64..1_000_000) {
+        let cfg = SimConfig::paper_default();
+        let b = hnlpu::sim::Breakdown::at(&cfg, ctx);
+        let sum: f64 = b.shares.iter().sum();
+        prop_assert!((sum - 100.0).abs() < 1e-6);
+    }
+
+    /// Layer timing components are individually non-negative and total
+    /// matches their sum.
+    #[test]
+    fn layer_timing_consistency(ctx in 512u64..1_000_000) {
+        let cfg = SimConfig::paper_default();
+        let t = hnlpu::sim::LayerTiming::compute(&cfg, ctx);
+        for v in [t.comm, t.projection, t.nonlinear, t.attention, t.stall] {
+            prop_assert!(v >= 0.0);
+        }
+        prop_assert!(
+            (t.total() - (t.comm + t.projection + t.nonlinear + t.attention + t.stall)).abs()
+                < 1e-9
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Cross-crate functional equivalence: the arithmetic substrate, the tile
+//! designs, and the 16-chip dataflow must all compute the same functions.
+
+use hnlpu::arith::neuron::{reference_dot, HardwiredNeuron};
+use hnlpu::embed::{TileDesign, TileMethod};
+use hnlpu::llm::{DataflowExecutor, Sampler, Transformer};
+use hnlpu::model::{zoo, Fp4, ModelWeights, WeightGenerator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The ME tile and a plain reference GEMV agree bit-for-bit for any
+    /// FP4 weights and 12-bit activations.
+    #[test]
+    fn me_tile_is_bit_exact(seed in 0u64..10_000) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (rows, cols) = (48usize, 6usize);
+        let weights: Vec<Fp4> = (0..rows * cols)
+            .map(|_| Fp4::from_code(rng.gen_range(0..16)))
+            .collect();
+        let x: Vec<i32> = (0..rows).map(|_| rng.gen_range(-2000..2000)).collect();
+        let mut tile = TileDesign::paper(TileMethod::MetalEmbedding);
+        tile.rows = rows;
+        tile.cols = cols;
+        let got = tile.execute(&weights, &x);
+        for c in 0..cols {
+            let col: Vec<Fp4> = (0..rows).map(|r| weights[r * cols + c]).collect();
+            prop_assert_eq!(got[c], reference_dot(&col, &x));
+        }
+    }
+
+    /// The single Hardwired-Neuron is exact at gpt-oss fan-in.
+    #[test]
+    fn hn_exact_at_gpt_oss_fan_in(seed in 0u64..500) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<Fp4> = (0..2880).map(|_| Fp4::from_code(rng.gen_range(0..16))).collect();
+        let x: Vec<i32> = (0..2880).map(|_| rng.gen_range(-2048..2047)).collect();
+        let hn = HardwiredNeuron::build(&weights, 1.25);
+        prop_assert_eq!(hn.eval(&x).value_half_units, reference_dot(&weights, &x));
+    }
+
+    /// Reference transformer and 16-chip dataflow produce identical greedy
+    /// token streams for arbitrary prompts and weight seeds.
+    #[test]
+    fn dataflow_matches_reference_across_seeds(
+        seed in 0u64..50,
+        prompt in prop::collection::vec(0u32..128, 1..5),
+    ) {
+        let card = zoo::dataflow_test_model();
+        let w = ModelWeights::materialize(&card.config, &WeightGenerator::new(seed));
+        let reference = Transformer::new(w.clone());
+        let hnlpu = DataflowExecutor::new(w);
+        prop_assert_eq!(
+            reference.generate_greedy(&prompt, 6),
+            hnlpu.generate_greedy(&prompt, 6)
+        );
+    }
+}
+
+#[test]
+fn all_three_tile_methods_agree_on_gpt_oss_shapes() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(1);
+    let (rows, cols) = (128usize, 16usize);
+    let weights: Vec<Fp4> = (0..rows * cols)
+        .map(|_| Fp4::from_code(rng.gen_range(0..16)))
+        .collect();
+    let x: Vec<i32> = (0..rows).map(|_| rng.gen_range(-128..128)).collect();
+    let mut results = Vec::new();
+    for m in [
+        TileMethod::MacArray,
+        TileMethod::CellEmbedding,
+        TileMethod::MetalEmbedding,
+    ] {
+        let mut tile = TileDesign::paper(m);
+        tile.rows = rows;
+        tile.cols = cols;
+        results.push(tile.execute(&weights, &x));
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+}
+
+#[test]
+fn sampled_generation_matches_between_machines() {
+    let card = zoo::dataflow_test_model();
+    let w = ModelWeights::materialize(&card.config, &WeightGenerator::new(7));
+    let reference = Transformer::new(w.clone());
+    let hnlpu = DataflowExecutor::new(w);
+    for temp in [0.5f32, 1.0, 2.0] {
+        let mut s1 = Sampler::multinomial(temp, 31337);
+        let mut s2 = Sampler::multinomial(temp, 31337);
+        let a = reference.generate(&[2, 4, 8], 8, &mut s1);
+        let (b, _) = hnlpu.generate_with_report(&[2, 4, 8], 8, &mut s2);
+        assert_eq!(a, b, "temperature {temp}");
+    }
+}

@@ -1,0 +1,125 @@
+//! The paper's headline claims, asserted end-to-end with explicit
+//! tolerances. These are the abstract's numbers.
+
+use hnlpu::experiments;
+use hnlpu::model::zoo;
+use hnlpu::tco::{DeploymentScale, UpdatePolicy};
+use hnlpu::HnlpuSystem;
+
+fn within(actual: f64, expected: f64, tol: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() / expected.abs() <= tol,
+        "{what}: expected {expected}, got {actual} (tolerance {:.0}%)",
+        tol * 100.0
+    );
+}
+
+#[test]
+fn abstract_claim_throughput_249960_tokens_per_s() {
+    let s = HnlpuSystem::design(zoo::gpt_oss_120b());
+    within(s.decode_throughput(2048), 249_960.0, 0.06, "throughput");
+}
+
+#[test]
+fn abstract_claim_5555x_gpu_85x_wse() {
+    let s = HnlpuSystem::design(zoo::gpt_oss_120b());
+    let rows = s.table2(2048);
+    within(
+        rows[0].throughput_tokens_per_s / rows[1].throughput_tokens_per_s,
+        5_555.0,
+        0.07,
+        "throughput vs H100",
+    );
+    within(
+        rows[0].throughput_tokens_per_s / rows[2].throughput_tokens_per_s,
+        85.0,
+        0.07,
+        "throughput vs WSE-3",
+    );
+}
+
+#[test]
+fn abstract_claim_36_tokens_per_joule() {
+    let s = HnlpuSystem::design(zoo::gpt_oss_120b());
+    let tpj = s.decode_throughput(2048) / s.system_power_w();
+    within(tpj, 36.0, 0.08, "tokens/J");
+}
+
+#[test]
+fn abstract_claim_13232_mm2_die_area() {
+    let s = HnlpuSystem::design(zoo::gpt_oss_120b());
+    within(s.silicon_mm2(), 13_232.0, 0.05, "total silicon");
+}
+
+#[test]
+fn abstract_claim_nre_59m_to_123m() {
+    let s = HnlpuSystem::design(zoo::gpt_oss_120b());
+    let nre = s.nre(1).initial_build();
+    within(nre.low, 59.46e6 - 0.21e6, 0.02, "NRE low");
+    within(nre.high, 123.5e6 - 0.21e6, 0.02, "NRE high");
+}
+
+#[test]
+fn abstract_claim_15x_density_and_112x_masks() {
+    let claims = experiments::claims();
+    let get = |name: &str| {
+        claims
+            .metrics
+            .iter()
+            .find(|m| m.name.contains(name))
+            .unwrap_or_else(|| panic!("missing {name}"))
+            .measured
+    };
+    within(get("density increase"), 15.0, 0.15, "density");
+    within(get("area saving"), 93.4, 0.02, "area saving");
+    within(
+        get("photomask cost reduction"),
+        112.0,
+        0.25,
+        "mask reduction",
+    );
+    within(get("initial tapeout saving"), 86.5, 0.02, "initial saving");
+    within(get("re-spin saving"), 92.3, 0.01, "re-spin saving");
+}
+
+#[test]
+fn abstract_claim_41_7x_to_80_4x_tco() {
+    let s = HnlpuSystem::design(zoo::gpt_oss_120b());
+    let (lo, hi) = s
+        .table3(DeploymentScale::High)
+        .tco_advantage(UpdatePolicy::AnnualUpdates);
+    within(lo, 41.7, 0.06, "TCO advantage low bound");
+    within(hi, 80.4, 0.06, "TCO advantage high bound");
+}
+
+#[test]
+fn abstract_claim_357x_carbon() {
+    let s = HnlpuSystem::design(zoo::gpt_oss_120b());
+    let f = s
+        .table3(DeploymentScale::Low)
+        .carbon_advantage(UpdatePolicy::AnnualUpdates);
+    within(f, 357.0, 0.06, "carbon advantage");
+}
+
+#[test]
+fn figure14_full_curve_reproduces() {
+    for m in experiments::fig14().metrics {
+        assert!(
+            (m.measured - m.paper).abs() < 3.0,
+            "{}: paper {} vs measured {:.1} (±3 points)",
+            m.name,
+            m.paper,
+            m.measured
+        );
+    }
+}
+
+#[test]
+fn section_7_1_signoff_is_clean() {
+    let report = experiments::signoff_report();
+    for m in &report.metrics {
+        if m.name.contains("(1=yes)") {
+            assert_eq!(m.measured, 1.0, "{} failed", m.name);
+        }
+    }
+}
