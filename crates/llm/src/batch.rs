@@ -1,0 +1,551 @@
+//! Batched parallel inference over the 216 pipeline slots (§5.2).
+//!
+//! [`BatchedDataflowExecutor`] runs many sequences through one
+//! [`DataflowExecutor`] the way the hardware does: a pool of KV-cache
+//! slots (one per resident sequence), continuous-batching admission and
+//! eviction, and per-round mixed prefill + decode stepping. The schedule
+//! itself comes from `hnlpu-sim`'s [`BatchScheduler`] as a list of
+//! [`RoundPlan`]s, so the functional engine executes *exactly* the slot
+//! assignments the cycle-level timing model priced — the differential
+//! harness in `tests/` asserts the token streams are identical to running
+//! [`DataflowExecutor`] per sequence.
+//!
+//! Sequences are mutually independent (each owns its KV state), so rounds
+//! fan out across cores with `rayon` when the `parallel` feature (default)
+//! is on; with `--no-default-features` the same rounds run serially.
+//! Both paths are bit-exact: no cross-sequence arithmetic exists.
+
+use crate::dataflow::{CommCounters, DataflowExecutor, DataflowState};
+use crate::sampler::Sampler;
+use hnlpu_sim::scheduler::{BatchScheduler, Request, RoundPlan};
+use std::time::Instant;
+
+/// One sequence to serve: real prompt tokens plus a decode budget.
+#[derive(Debug, Clone)]
+pub struct SequenceRequest {
+    /// Arrival time in microseconds (scheduler admission order).
+    pub arrival_s_micros: u64,
+    /// Prompt token ids (non-empty).
+    pub prompt: Vec<u32>,
+    /// Tokens to decode after prefill.
+    pub decode_tokens: u32,
+    /// Per-sequence sampling policy.
+    pub sampler: Sampler,
+}
+
+impl SequenceRequest {
+    /// A greedy-decoded request.
+    pub fn greedy(arrival_s_micros: u64, prompt: Vec<u32>, decode_tokens: u32) -> Self {
+        SequenceRequest {
+            arrival_s_micros,
+            prompt,
+            decode_tokens,
+            sampler: Sampler::Greedy,
+        }
+    }
+
+    /// The timing-model view of this request (token counts only).
+    pub fn to_sim_request(&self) -> Request {
+        Request::new(
+            self.arrival_s_micros,
+            self.prompt.len() as u32,
+            self.decode_tokens,
+        )
+    }
+}
+
+/// Result of one batched run.
+#[derive(Debug, Clone)]
+pub struct BatchRunReport {
+    /// Decoded token streams, indexed like the input request slice.
+    pub outputs: Vec<Vec<u32>>,
+    /// Per-sequence communication counters, same indexing.
+    pub per_sequence_comm: Vec<CommCounters>,
+    /// Aggregate counters (the sum of `per_sequence_comm`).
+    pub comm: CommCounters,
+    /// Pipeline rounds executed.
+    pub rounds: u64,
+    /// Total decoded tokens.
+    pub decoded_tokens: u64,
+    /// Total prefilled prompt tokens.
+    pub prefill_tokens: u64,
+    /// Most sequences resident at once (KV slots in use).
+    pub peak_resident: usize,
+    /// Largest pooled KV footprint at fp16 storage, bytes.
+    pub peak_kv_bytes_fp16: u64,
+    /// Measured wall-clock time of the functional execution, seconds.
+    pub wall_s: f64,
+}
+
+impl BatchRunReport {
+    /// Measured functional decode rate, tokens/s.
+    pub fn measured_decode_tokens_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.decoded_tokens as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Measured functional total token rate (prefill + decode), tokens/s.
+    pub fn measured_tokens_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            (self.decoded_tokens + self.prefill_tokens) as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A resident sequence: its KV state plus generation progress.
+#[derive(Debug)]
+struct SeqSlot {
+    /// Index into the caller's request slice.
+    seq: usize,
+    prompt: Vec<u32>,
+    target: usize,
+    sampler: Sampler,
+    state: DataflowState,
+    /// Logits of the most recent step (valid once anything was stepped).
+    logits: Vec<f32>,
+    /// Prompt tokens consumed so far.
+    prefill_pos: usize,
+    out: Vec<u32>,
+}
+
+impl SeqSlot {
+    fn finished(&self) -> bool {
+        self.prefill_pos == self.prompt.len() && self.out.len() == self.target
+    }
+}
+
+/// What one sequence does during one round. A sequence whose prefill
+/// completes mid-round chains straight into its first decode, so one item
+/// can carry both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Action {
+    /// Prompt tokens to consume first.
+    prefill: u32,
+    /// Then sample one token (stepping it back in unless it is the last).
+    decode: bool,
+}
+
+/// The batched inference engine.
+#[derive(Debug, Clone)]
+pub struct BatchedDataflowExecutor {
+    inner: DataflowExecutor,
+    max_slots: usize,
+}
+
+impl BatchedDataflowExecutor {
+    /// An engine over `inner` with capacity for `max_slots` concurrently
+    /// resident sequences (the hardware's 216 pipeline slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_slots` is zero.
+    pub fn new(inner: DataflowExecutor, max_slots: usize) -> Self {
+        assert!(max_slots > 0, "need at least one sequence slot");
+        BatchedDataflowExecutor { inner, max_slots }
+    }
+
+    /// The wrapped per-sequence executor.
+    pub fn executor(&self) -> &DataflowExecutor {
+        &self.inner
+    }
+
+    /// Sequence-slot capacity.
+    pub fn max_slots(&self) -> usize {
+        self.max_slots
+    }
+
+    /// Plan with `scheduler` and execute: the timing model and the
+    /// functional engine consume the same per-round slot assignments.
+    ///
+    /// Returns the functional report and the scheduler's analytical
+    /// timing report for the identical schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler's slot count exceeds this engine's
+    /// capacity, or on any condition listed for
+    /// [`execute_plan`](Self::execute_plan).
+    pub fn run_with_scheduler(
+        &self,
+        requests: &[SequenceRequest],
+        scheduler: &BatchScheduler,
+    ) -> (BatchRunReport, hnlpu_sim::SchedulerReport) {
+        assert!(
+            scheduler.slots() <= self.max_slots,
+            "scheduler schedules {} slots but the engine pools {}",
+            scheduler.slots(),
+            self.max_slots
+        );
+        let sim_reqs: Vec<Request> = requests
+            .iter()
+            .map(SequenceRequest::to_sim_request)
+            .collect();
+        let (timing, plans) = scheduler.plan(&sim_reqs);
+        (self.execute_plan(requests, &plans), timing)
+    }
+
+    /// Execute `requests` following `plans` round by round.
+    ///
+    /// Admission assigns the lowest free KV slot the first time a sequence
+    /// appears in a plan; eviction frees the slot in the round the
+    /// sequence finishes, mirroring the sim scheduler's slot semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prompt is empty, a plan refers to a sequence out of
+    /// range, asks for more work than a sequence has left, decodes a
+    /// sequence before its prefill finished, overflows the slot pool, or
+    /// leaves a sequence unfinished after the final round.
+    pub fn execute_plan(
+        &self,
+        requests: &[SequenceRequest],
+        plans: &[RoundPlan],
+    ) -> BatchRunReport {
+        for r in requests {
+            assert!(
+                !r.prompt.is_empty(),
+                "prompt must contain at least one token"
+            );
+        }
+        let started = Instant::now();
+        let mut pool: Vec<Option<SeqSlot>> = Vec::new();
+        // seq id -> slot index while resident.
+        let mut slot_of: Vec<Option<usize>> = vec![None; requests.len()];
+        let mut outputs: Vec<Vec<u32>> = vec![Vec::new(); requests.len()];
+        let mut per_sequence_comm = vec![CommCounters::default(); requests.len()];
+        let mut decoded_tokens = 0u64;
+        let mut prefill_tokens = 0u64;
+        let mut peak_resident = 0usize;
+        let mut peak_kv_bytes = 0u64;
+
+        for plan in plans {
+            // Admit sequences first referenced this round (prefill entries
+            // are FCFS in admission order; decoders were admitted earlier).
+            for &(seq, _) in &plan.prefill {
+                if slot_of[seq].is_none() {
+                    let slot = self.admit(&mut pool, requests, seq);
+                    slot_of[seq] = Some(slot);
+                }
+            }
+            peak_resident = peak_resident.max(pool.iter().flatten().count());
+
+            // Merge this round's assignments into one action per sequence
+            // (a sequence may prefill AND chain into its first decode).
+            let mut actions: Vec<(usize, Action)> = plan
+                .prefill
+                .iter()
+                .map(|&(seq, n)| {
+                    (
+                        seq,
+                        Action {
+                            prefill: n,
+                            decode: false,
+                        },
+                    )
+                })
+                .collect();
+            for &seq in &plan.decode {
+                match actions.iter_mut().find(|(s, _)| *s == seq) {
+                    Some((_, action)) => action.decode = true,
+                    None => actions.push((
+                        seq,
+                        Action {
+                            prefill: 0,
+                            decode: true,
+                        },
+                    )),
+                }
+            }
+
+            // Index the pool once, then hand out disjoint &mut borrows.
+            let mut work: Vec<(&mut SeqSlot, Action)> = Vec::new();
+            let mut remaining: Vec<Option<&mut SeqSlot>> =
+                pool.iter_mut().map(Option::as_mut).collect();
+            for (seq, action) in actions {
+                let slot_idx = slot_of[seq].unwrap_or_else(|| {
+                    panic!("plan decodes sequence {seq} before it was admitted")
+                });
+                let slot = remaining[slot_idx]
+                    .take()
+                    .expect("one action per sequence per round");
+                assert!(
+                    slot.prefill_pos + action.prefill as usize <= slot.prompt.len(),
+                    "plan prefills past the prompt of sequence {seq}"
+                );
+                prefill_tokens += action.prefill as u64;
+                if action.decode {
+                    assert_eq!(
+                        slot.prefill_pos + action.prefill as usize,
+                        slot.prompt.len(),
+                        "plan decodes sequence {seq} before prefill finished"
+                    );
+                    assert!(
+                        slot.out.len() < slot.target,
+                        "plan decodes sequence {seq} past its budget"
+                    );
+                    decoded_tokens += 1;
+                }
+                work.push((slot, action));
+            }
+
+            self.run_round(work);
+
+            // Evict finished sequences, harvesting their results.
+            for slot in pool.iter_mut() {
+                if slot.as_ref().is_some_and(SeqSlot::finished) {
+                    let done = slot.take().expect("checked");
+                    slot_of[done.seq] = None;
+                    per_sequence_comm[done.seq] = done.state.comm;
+                    outputs[done.seq] = done.out;
+                }
+            }
+            let kv_bytes: u64 = pool.iter().flatten().map(|s| s.state.kv_bytes_fp16()).sum();
+            peak_kv_bytes = peak_kv_bytes.max(kv_bytes);
+        }
+        assert!(
+            pool.iter().all(Option::is_none),
+            "plan ended with sequences still resident"
+        );
+
+        BatchRunReport {
+            comm: per_sequence_comm.iter().copied().sum(),
+            outputs,
+            per_sequence_comm,
+            rounds: plans.len() as u64,
+            decoded_tokens,
+            prefill_tokens,
+            peak_resident,
+            peak_kv_bytes_fp16: peak_kv_bytes,
+            wall_s: started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Place `seq` in the lowest free slot of the pool.
+    fn admit(
+        &self,
+        pool: &mut Vec<Option<SeqSlot>>,
+        requests: &[SequenceRequest],
+        seq: usize,
+    ) -> usize {
+        let req = &requests[seq];
+        let slot = SeqSlot {
+            seq,
+            prompt: req.prompt.clone(),
+            target: req.decode_tokens as usize,
+            sampler: req.sampler.clone(),
+            state: self.inner.new_state(),
+            logits: Vec::new(),
+            prefill_pos: 0,
+            out: Vec::new(),
+        };
+        if let Some(free) = pool.iter().position(Option::is_none) {
+            pool[free] = Some(slot);
+            return free;
+        }
+        assert!(
+            pool.len() < self.max_slots,
+            "admission would exceed the {}-slot pool",
+            self.max_slots
+        );
+        pool.push(Some(slot));
+        pool.len() - 1
+    }
+
+    /// One pipeline round: every work item advances independently, so this
+    /// is where sequence-level parallelism happens.
+    #[cfg(feature = "parallel")]
+    fn run_round(&self, work: Vec<(&mut SeqSlot, Action)>) {
+        use rayon::prelude::*;
+        work.into_par_iter()
+            .for_each(|(slot, action)| self.advance(slot, action));
+    }
+
+    /// Serial twin of the rayon round (`--no-default-features`); bit-exact
+    /// with the parallel path because sequences share no arithmetic.
+    #[cfg(not(feature = "parallel"))]
+    fn run_round(&self, work: Vec<(&mut SeqSlot, Action)>) {
+        for (slot, action) in work {
+            self.advance(slot, action);
+        }
+    }
+
+    /// Advance one sequence by its round action. Exactly mirrors
+    /// [`DataflowExecutor::generate_with_report`]: prompt tokens step in
+    /// order, then the sampled token is emitted without being stepped back
+    /// through the machine when it is the last one requested.
+    fn advance(&self, slot: &mut SeqSlot, action: Action) {
+        for _ in 0..action.prefill {
+            let token = slot.prompt[slot.prefill_pos];
+            slot.logits = self.inner.step(token, &mut slot.state);
+            slot.prefill_pos += 1;
+        }
+        if action.decode {
+            let next = slot.sampler.sample(&slot.logits);
+            slot.out.push(next);
+            if slot.out.len() < slot.target {
+                slot.logits = self.inner.step(next, &mut slot.state);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::GRID;
+    use hnlpu_model::{zoo, ModelWeights, WeightGenerator};
+    use hnlpu_sim::SimConfig;
+
+    fn engine() -> BatchedDataflowExecutor {
+        let card = zoo::dataflow_test_model();
+        let w = ModelWeights::materialize(&card.config, &WeightGenerator::new(2026));
+        BatchedDataflowExecutor::new(DataflowExecutor::new(w), 216)
+    }
+
+    fn scheduler() -> BatchScheduler {
+        BatchScheduler::new(SimConfig::paper_default(), 2048)
+    }
+
+    #[test]
+    fn batched_matches_per_sequence_greedy() {
+        let eng = engine();
+        let requests = vec![
+            SequenceRequest::greedy(0, vec![1, 5, 9], 8),
+            SequenceRequest::greedy(0, vec![100, 2], 5),
+            SequenceRequest::greedy(0, vec![64], 12),
+        ];
+        let (report, _) = eng.run_with_scheduler(&requests, &scheduler());
+        for (r, out) in requests.iter().zip(&report.outputs) {
+            let solo = eng
+                .executor()
+                .generate_greedy(&r.prompt, r.decode_tokens as usize);
+            assert_eq!(&solo, out);
+        }
+    }
+
+    #[test]
+    fn batch_comm_is_sum_of_sequences() {
+        let eng = engine();
+        let requests = vec![
+            SequenceRequest::greedy(0, vec![3, 1, 4], 6),
+            SequenceRequest::greedy(0, vec![2, 7], 4),
+        ];
+        let (report, _) = eng.run_with_scheduler(&requests, &scheduler());
+        let mut total = CommCounters::default();
+        for (r, &per) in requests.iter().zip(&report.per_sequence_comm) {
+            let (_, solo) = eng.executor().generate_with_report(
+                &r.prompt,
+                r.decode_tokens as usize,
+                &mut Sampler::Greedy,
+            );
+            assert_eq!(solo, per);
+            total += per;
+        }
+        assert_eq!(report.comm, total);
+    }
+
+    #[test]
+    fn kv_pool_slots_shard_by_position_mod_4() {
+        // The batched engine's pooled KV states keep the dataflow
+        // executor's ownership invariant: position p lives on chip p % 4.
+        let eng = engine();
+        let mut state = eng.executor().new_state();
+        for t in 0..7u32 {
+            eng.executor().step(t, &mut state);
+        }
+        for col in 0..GRID {
+            for chip in 0..GRID {
+                let expected = (7 + GRID - 1 - chip) / GRID;
+                assert_eq!(state.kv_shard(col, chip).len(), expected);
+            }
+        }
+        assert_eq!(state.position(), 7);
+        assert!(state.kv_bytes_fp16() > 0);
+    }
+
+    #[test]
+    fn eviction_frees_slots_for_later_arrivals() {
+        let eng = engine();
+        // Two waves with arrivals 2 s apart: wave 1 finishes long before
+        // wave 2 arrives, so peak residency stays at the wave size.
+        let mut requests = Vec::new();
+        for _ in 0..3 {
+            requests.push(SequenceRequest::greedy(0, vec![1, 2], 3));
+        }
+        for _ in 0..3 {
+            requests.push(SequenceRequest::greedy(2_000_000, vec![4, 5], 3));
+        }
+        let (report, _) = eng.run_with_scheduler(&requests, &scheduler());
+        assert_eq!(report.peak_resident, 3);
+        assert_eq!(report.decoded_tokens, 6 * 3);
+        assert_eq!(report.prefill_tokens, 6 * 2);
+        for out in &report.outputs {
+            assert_eq!(out.len(), 3);
+        }
+    }
+
+    #[test]
+    fn zero_decode_requests_complete_with_empty_output() {
+        let eng = engine();
+        let requests = vec![
+            SequenceRequest::greedy(0, vec![9, 9, 9], 0),
+            SequenceRequest::greedy(0, vec![1], 2),
+        ];
+        let (report, _) = eng.run_with_scheduler(&requests, &scheduler());
+        assert!(report.outputs[0].is_empty());
+        assert_eq!(report.outputs[1].len(), 2);
+    }
+
+    #[test]
+    fn seeded_samplers_match_per_sequence_runs() {
+        let eng = engine();
+        let mk = |seed| SequenceRequest {
+            arrival_s_micros: 0,
+            prompt: vec![3, 1, 4],
+            decode_tokens: 6,
+            sampler: Sampler::multinomial(0.7, seed),
+        };
+        let requests = vec![mk(11), mk(99)];
+        let (report, _) = eng.run_with_scheduler(&requests, &scheduler());
+        for (r, out) in requests.iter().zip(&report.outputs) {
+            let (solo, _) = eng.executor().generate_with_report(
+                &r.prompt,
+                r.decode_tokens as usize,
+                &mut r.sampler.clone(),
+            );
+            assert_eq!(&solo, out);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prompt must contain")]
+    fn empty_prompt_rejected() {
+        let eng = engine();
+        let requests = vec![SequenceRequest::greedy(0, vec![], 1)];
+        eng.run_with_scheduler(&requests, &scheduler());
+    }
+
+    #[test]
+    #[should_panic(expected = "slot pool")]
+    fn pool_overflow_rejected() {
+        let card = zoo::dataflow_test_model();
+        let w = ModelWeights::materialize(&card.config, &WeightGenerator::new(2026));
+        let eng = BatchedDataflowExecutor::new(DataflowExecutor::new(w), 1);
+        let requests = vec![
+            SequenceRequest::greedy(0, vec![1], 2),
+            SequenceRequest::greedy(0, vec![2], 2),
+        ];
+        // Hand-build a plan admitting both at once, bypassing the
+        // scheduler's own capacity check.
+        let plans = vec![RoundPlan {
+            decode: vec![],
+            prefill: vec![(0, 1), (1, 1)],
+        }];
+        eng.execute_plan(&requests, &plans);
+    }
+}

@@ -35,6 +35,31 @@ pub struct CommCounters {
     pub bytes: u64,
 }
 
+impl std::ops::Add for CommCounters {
+    type Output = CommCounters;
+
+    fn add(mut self, rhs: CommCounters) -> CommCounters {
+        self += rhs;
+        self
+    }
+}
+
+impl std::ops::AddAssign for CommCounters {
+    fn add_assign(&mut self, rhs: CommCounters) {
+        self.all_reduces += rhs.all_reduces;
+        self.all_chip_all_reduces += rhs.all_chip_all_reduces;
+        self.reduces += rhs.reduces;
+        self.all_gathers += rhs.all_gathers;
+        self.bytes += rhs.bytes;
+    }
+}
+
+impl std::iter::Sum for CommCounters {
+    fn sum<I: Iterator<Item = CommCounters>>(iter: I) -> CommCounters {
+        iter.fold(CommCounters::default(), |a, b| a + b)
+    }
+}
+
 /// Mutable per-sequence execution state.
 #[derive(Debug, Clone)]
 pub struct DataflowState {
@@ -45,6 +70,28 @@ pub struct DataflowState {
     position: usize,
     /// Communication counters.
     pub comm: CommCounters,
+}
+
+impl DataflowState {
+    /// Tokens consumed so far.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// The KV shard held by chip `chip_in_col` of column `col` (positions
+    /// `p % 4 == chip_in_col`).
+    pub fn kv_shard(&self, col: usize, chip_in_col: usize) -> &KvCache {
+        &self.kv[col][chip_in_col]
+    }
+
+    /// Total KV-cache footprint across all 16 shards at fp16 storage.
+    pub fn kv_bytes_fp16(&self) -> u64 {
+        self.kv
+            .iter()
+            .flat_map(|col| col.iter())
+            .map(KvCache::bytes_fp16)
+            .sum()
+    }
 }
 
 /// The dataflow executor.

@@ -67,6 +67,21 @@ impl KvCache {
         &self.layers[layer].values[base..base + self.head_dim]
     }
 
+    /// KV heads per cached position.
+    pub fn kv_heads(&self) -> usize {
+        self.kv_heads
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Number of layers this cache covers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
     /// Total cached bytes at fp16 storage (capacity planning).
     pub fn bytes_fp16(&self) -> u64 {
         self.layers
@@ -108,5 +123,59 @@ mod tests {
     #[should_panic(expected = "key width")]
     fn wrong_width_rejected() {
         KvCache::new(1, 2, 4).append(0, &[0.0; 7], &[0.0; 8]);
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let c = KvCache::new(3, 2, 4);
+        assert_eq!(c.num_layers(), 3);
+        assert_eq!(c.kv_heads(), 2);
+        assert_eq!(c.head_dim(), 4);
+    }
+
+    /// Model the dataflow executor's `p % 4 == chip_in_col` sharding: four
+    /// caches, position `p` appended to cache `p % 4`, and check that every
+    /// global position round-trips from exactly the shard that owns it.
+    #[test]
+    fn mod4_sharding_round_trips_across_boundaries() {
+        const GRID: usize = 4;
+        let mut shards: Vec<KvCache> = (0..GRID).map(|_| KvCache::new(2, 1, 2)).collect();
+        // 4n - 1, 4n, and 4n + 1 positions all exercise boundary wrap.
+        for total in [3usize, 4, 5, 8, 9] {
+            for s in shards.iter_mut() {
+                *s = KvCache::new(2, 1, 2);
+            }
+            for p in 0..total {
+                let k = [p as f32, 100.0 + p as f32];
+                let v = [-(p as f32), 0.5 * p as f32];
+                for layer in 0..2 {
+                    shards[p % GRID].append(layer, &k, &v);
+                }
+            }
+            for (chip, shard) in shards.iter().enumerate() {
+                // Owner shard holds ceil((total - chip) / 4) positions.
+                let expected = (total + GRID - 1).saturating_sub(chip) / GRID;
+                assert_eq!(shard.len(), expected, "total {total} chip {chip}");
+                // Local index l maps back to global position 4l + chip.
+                for l in 0..shard.len() {
+                    let p = GRID * l + chip;
+                    assert_eq!(shard.key(0, l, 0), &[p as f32, 100.0 + p as f32]);
+                    assert_eq!(shard.value(1, l, 0), &[-(p as f32), 0.5 * p as f32]);
+                }
+            }
+        }
+    }
+
+    /// Appending out-of-order across layers keeps per-layer counts
+    /// independent until every layer has seen the position.
+    #[test]
+    fn per_layer_lengths_follow_first_layer() {
+        let mut c = KvCache::new(2, 1, 2);
+        c.append(0, &[1.0, 2.0], &[3.0, 4.0]);
+        // `len` reports layer-0 positions; layer 1 catches up on append.
+        assert_eq!(c.len(), 1);
+        c.append(1, &[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.key(1, 0, 0), &[1.0, 2.0]);
     }
 }

@@ -13,6 +13,9 @@
 //! * [`mod@reference`] — the single-device decoder (GQA + MoE, pre-norm).
 //! * [`dataflow`] — the 4×4-chip executor with explicit partial sums and
 //!   collectives mirroring Figure 10, plus communication counters.
+//! * [`batch`] — the batched engine: a KV-slot pool with continuous-
+//!   batching admission/eviction executing `hnlpu-sim`'s round plans,
+//!   parallel across sequences (feature `parallel`, on by default).
 //!
 //! # Example
 //!
@@ -32,6 +35,7 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod batch;
 pub mod dataflow;
 pub mod kv_cache;
 pub mod lora;
@@ -41,6 +45,7 @@ pub mod sampler;
 pub mod tensor;
 pub mod tokenizer;
 
+pub use batch::{BatchRunReport, BatchedDataflowExecutor, SequenceRequest};
 pub use dataflow::{CommCounters, DataflowExecutor};
 pub use kv_cache::KvCache;
 pub use lora::LoraAdapter;

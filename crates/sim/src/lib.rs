@@ -43,5 +43,5 @@ pub use hbm::KvCacheModel;
 pub use packet::{PacketFabric, PacketSim, PacketSimReport};
 pub use pipeline::{Breakdown, LayerTiming};
 pub use power::{SystemPowerModel, WorkloadEnergy};
-pub use scheduler::{BatchScheduler, Request, SchedulerReport};
+pub use scheduler::{BatchScheduler, Request, RoundPlan, SchedulerReport};
 pub use workload::{WorkloadKind, WorkloadSpec};

@@ -65,6 +65,30 @@ pub struct SchedulerReport {
     pub mean_occupancy: f64,
 }
 
+/// One pipeline round's slot assignment.
+///
+/// Sequence ids index the *input order* of the request slice handed to
+/// [`BatchScheduler::plan`], so a functional engine holding the real
+/// token streams can replay exactly the schedule the timing model priced.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct RoundPlan {
+    /// Sequences emitting one decode token this round (autoregressive), in
+    /// admission order. A sequence whose prefill completes this round
+    /// chains straight into its first decode, so it may appear in both
+    /// lists.
+    pub decode: Vec<usize>,
+    /// `(sequence id, prompt tokens prefilled this round)` pairs, FCFS in
+    /// admission order. Counts are nonzero.
+    pub prefill: Vec<(usize, u32)>,
+}
+
+impl RoundPlan {
+    /// Token slots consumed this round (decode + prefill).
+    pub fn used_slots(&self) -> u64 {
+        self.decode.len() as u64 + self.prefill.iter().map(|&(_, n)| n as u64).sum::<u64>()
+    }
+}
+
 /// The continuous-batching simulator.
 #[derive(Debug, Clone)]
 pub struct BatchScheduler {
@@ -75,6 +99,8 @@ pub struct BatchScheduler {
 
 #[derive(Debug, Clone, Copy)]
 struct Resident {
+    /// Index of the request in the caller's input slice.
+    seq: usize,
     req: Request,
     remaining_prefill: u32,
     remaining_decode: u32,
@@ -91,17 +117,29 @@ impl BatchScheduler {
         }
     }
 
+    /// Concurrent-sequence capacity (the machine's pipeline slots).
+    pub fn slots(&self) -> usize {
+        self.cfg.pipeline_slots() as usize
+    }
+
     /// Simulate `requests` (any order; sorted internally by arrival).
     ///
     /// Each round offers `pipeline_slots()` token slots: one per decoding
     /// sequence (autoregressive), with the remainder shared round-robin by
     /// prefilling sequences (prompt tokens are mutually independent).
     pub fn run(&self, requests: &[Request]) -> SchedulerReport {
-        let mut queue: Vec<Request> = requests.to_vec();
-        queue.sort_by_key(|r| r.arrival_s_micros);
-        let mut queue: VecDeque<Request> = queue.into();
+        self.plan(requests).0
+    }
 
-        let slots = self.cfg.pipeline_slots() as usize;
+    /// As [`run`](Self::run), but also return the per-round slot
+    /// assignments so a functional engine can execute the same schedule.
+    pub fn plan(&self, requests: &[Request]) -> (SchedulerReport, Vec<RoundPlan>) {
+        let mut queue: Vec<(usize, Request)> = requests.iter().copied().enumerate().collect();
+        // Stable: equal arrivals keep input order.
+        queue.sort_by_key(|(_, r)| r.arrival_s_micros);
+        let mut queue: VecDeque<(usize, Request)> = queue.into();
+
+        let slots = self.slots();
         // One pipeline round = all slots advance one token = slots x the
         // advance interval.
         let round_s = self.cfg.pipeline_slots() as f64
@@ -110,6 +148,7 @@ impl BatchScheduler {
 
         let mut resident: Vec<Resident> = Vec::with_capacity(slots);
         let mut completions = Vec::new();
+        let mut plans = Vec::new();
         let mut decoded: u64 = 0;
         let mut prefilled: u64 = 0;
         let mut occupancy_sum = 0.0;
@@ -120,9 +159,10 @@ impl BatchScheduler {
             // Admit arrivals into free sequence slots.
             while resident.len() < slots {
                 match queue.front() {
-                    Some(r) if r.arrival_s_micros as f64 / 1e6 <= now => {
-                        let req = queue.pop_front().expect("peeked");
+                    Some((_, r)) if r.arrival_s_micros as f64 / 1e6 <= now => {
+                        let (seq, req) = queue.pop_front().expect("peeked");
                         resident.push(Resident {
+                            seq,
                             req,
                             remaining_prefill: req.prompt_tokens,
                             remaining_decode: req.decode_tokens,
@@ -134,7 +174,7 @@ impl BatchScheduler {
             }
             if resident.is_empty() {
                 // Idle until the next arrival.
-                if let Some(r) = queue.front() {
+                if let Some((_, r)) = queue.front() {
                     now = now.max(r.arrival_s_micros as f64 / 1e6);
                 }
                 continue;
@@ -142,6 +182,10 @@ impl BatchScheduler {
             // One pipeline round: decode slots first, prefill fills the rest.
             now += round_s;
             rounds += 1;
+            let mut plan = RoundPlan::default();
+            // Budget/occupancy count decode slots claimed at round start;
+            // `plan.decode` itself is recorded post-prefill below, because
+            // a prefill that completes this round chains into decode.
             let decoding = resident
                 .iter()
                 .filter(|r| r.remaining_prefill == 0 && r.remaining_decode > 0)
@@ -161,6 +205,7 @@ impl BatchScheduler {
                     prefill_budget -= take as u64;
                     prefilled += take as u64;
                     used += take as u64;
+                    plan.prefill.push((r.seq, take));
                 }
             }
             occupancy_sum += used as f64 / slots as f64;
@@ -169,6 +214,7 @@ impl BatchScheduler {
                 if r.remaining_prefill == 0 && r.remaining_decode > 0 {
                     r.remaining_decode -= 1;
                     decoded += 1;
+                    plan.decode.push(r.seq);
                 }
                 if r.remaining_prefill == 0 && r.remaining_decode == 0 {
                     completions.push(Completion {
@@ -180,10 +226,11 @@ impl BatchScheduler {
                     still.push(r);
                 }
             }
+            plans.push(plan);
             resident = still;
         }
 
-        SchedulerReport {
+        let report = SchedulerReport {
             decoded_tokens: decoded,
             prefill_tokens: prefilled,
             makespan_s: now,
@@ -194,7 +241,8 @@ impl BatchScheduler {
                 0.0
             },
             completions,
-        }
+        };
+        (report, plans)
     }
 }
 
@@ -286,6 +334,38 @@ mod tests {
     }
 
     #[test]
+    fn plans_replay_the_run_report() {
+        let reqs: Vec<Request> = (0..10)
+            .map(|i| Request::new(i * 100_000, 32 + i as u32, 20))
+            .collect();
+        let s = scheduler();
+        let (report, plans) = s.plan(&reqs);
+        assert_eq!(report, s.run(&reqs));
+        let decoded: u64 = plans.iter().map(|p| p.decode.len() as u64).sum();
+        let prefilled: u64 = plans
+            .iter()
+            .flat_map(|p| p.prefill.iter())
+            .map(|&(_, n)| n as u64)
+            .sum();
+        assert_eq!(decoded, report.decoded_tokens);
+        assert_eq!(prefilled, report.prefill_tokens);
+        assert!(plans.len() as u64 * s.slots() as u64 >= decoded + prefilled);
+    }
+
+    #[test]
+    fn decode_chains_onto_final_prefill_round() {
+        // Seed-locked semantics: the round that finishes a prompt also
+        // emits the first decode token (see long_prompt_prefills_at
+        // pipeline_width), and the plan records that chained decode.
+        let (_, plans) = scheduler().plan(&[Request::new(0, 8, 2)]);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].prefill, vec![(0, 8)]);
+        assert_eq!(plans[0].decode, vec![0]);
+        assert_eq!(plans[1].decode, vec![0]);
+        assert!(plans[1].prefill.is_empty());
+    }
+
+    #[test]
     fn decode_has_priority_over_prefill() {
         // With 216 decoding sequences resident, a late-arriving giant
         // prompt must not stall decode: occupancy stays ~1 and decode
@@ -295,5 +375,113 @@ mod tests {
         let rep = scheduler().run(&reqs);
         assert_eq!(rep.completions.len(), 217);
         assert_eq!(rep.decoded_tokens, 216 * 300 + 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn scheduler() -> BatchScheduler {
+        BatchScheduler::new(SimConfig::paper_default(), 2048)
+    }
+
+    /// Requests from (arrival micros, prompt, decode) triples.
+    fn build(specs: &[(u64, u32, u32)]) -> Vec<Request> {
+        specs
+            .iter()
+            .map(|&(a, p, d)| Request::new(a, p, d))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Token conservation: every prompt token is prefilled exactly
+        /// once, every decode token decoded exactly once, and every
+        /// request completes.
+        #[test]
+        fn tokens_are_conserved(
+            specs in prop::collection::vec(
+                (0u64..2_000_000, 0u32..600, 0u32..120),
+                1..40,
+            ),
+        ) {
+            let reqs = build(&specs);
+            let rep = scheduler().run(&reqs);
+            prop_assert_eq!(rep.completions.len(), reqs.len());
+            let prompts: u64 = specs.iter().map(|s| s.1 as u64).sum();
+            let decodes: u64 = specs.iter().map(|s| s.2 as u64).sum();
+            prop_assert_eq!(rep.prefill_tokens, prompts);
+            prop_assert_eq!(rep.decoded_tokens, decodes);
+        }
+
+        /// Slot occupancy never exceeds `pipeline_slots()`: per round, the
+        /// budgeted token slots and the concurrently active sequences both
+        /// stay within capacity, and mean occupancy is a true fraction.
+        #[test]
+        fn occupancy_never_exceeds_pipeline_slots(
+            specs in prop::collection::vec(
+                (0u64..1_000_000, 0u32..2_000, 0u32..80),
+                1..60,
+            ),
+        ) {
+            let s = scheduler();
+            let slots = s.slots() as u64;
+            let reqs = build(&specs);
+            let (rep, plans) = s.plan(&reqs);
+            prop_assert!(rep.mean_occupancy <= 1.0 + 1e-12);
+            for plan in &plans {
+                // A chained decode shares its sequence's round with the
+                // prefill that completed it, so budgeted slots are the
+                // prefill tokens plus the non-chained decodes.
+                let chained = plan
+                    .decode
+                    .iter()
+                    .filter(|seq| plan.prefill.iter().any(|(p, _)| p == *seq))
+                    .count() as u64;
+                let budgeted = plan.used_slots() - chained;
+                prop_assert!(budgeted <= slots, "budgeted {budgeted} > {slots}");
+                // Active sequences this round never exceed the machine's
+                // concurrent-sequence capacity.
+                let mut active: Vec<usize> = plan.decode.clone();
+                active.extend(plan.prefill.iter().map(|&(seq, _)| seq));
+                active.sort_unstable();
+                active.dedup();
+                prop_assert!(active.len() as u64 <= slots);
+            }
+        }
+
+        /// Mean latency is monotone in arrival rate: spreading the same
+        /// requests further apart (lower rate) never increases the mean
+        /// latency produced by FCFS admission with decode priority.
+        #[test]
+        fn latency_monotone_in_arrival_rate(
+            n in 2usize..40,
+            gap_micros in 1_000u64..500_000,
+            prompt in 1u32..400,
+            decode in 1u32..80,
+        ) {
+            let fast: Vec<Request> = (0..n)
+                .map(|i| Request::new(i as u64 * gap_micros, prompt, decode))
+                .collect();
+            let slow: Vec<Request> = (0..n)
+                .map(|i| Request::new(i as u64 * gap_micros * 2, prompt, decode))
+                .collect();
+            let mean = |rep: &SchedulerReport| {
+                rep.completions.iter().map(|c| c.latency_s).sum::<f64>()
+                    / rep.completions.len() as f64
+            };
+            let s = scheduler();
+            let fast_mean = mean(&s.run(&fast));
+            let slow_mean = mean(&s.run(&slow));
+            // Round-boundary alignment can move individual latencies by a
+            // fraction of a round; allow that slack on the mean.
+            prop_assert!(
+                slow_mean <= fast_mean + 1e-9 + 2e-3,
+                "halving the arrival rate raised mean latency: {slow_mean} > {fast_mean}"
+            );
+        }
     }
 }

@@ -1,10 +1,23 @@
-//! Serving simulation: drive the HNLPU's hardware continuous-batching
-//! scheduler with a bursty chat-style workload (the paper's motivating
-//! cloud-serving scenario) and report throughput, latency, and occupancy.
+//! Serving simulation, two ways.
+//!
+//! Part 1 drives the HNLPU's hardware continuous-batching scheduler with a
+//! bursty chat-style workload (the paper's motivating cloud-serving
+//! scenario) and reports the *analytical* throughput, latency, and
+//! occupancy of the 120 B machine.
+//!
+//! Part 2 runs *real tokens* through the batched dataflow engine: the same
+//! scheduler plans per-round slot assignments, and the functional 16-chip
+//! executor replays that exact schedule on a small test model — measured
+//! tokens/s, KV-pool footprint, and collective counts come from actual
+//! execution, not a formula.
 //!
 //! Run with: `cargo run --release -p hnlpu --example serving_simulator`
 
+use hnlpu::llm::{BatchedDataflowExecutor, DataflowExecutor, SequenceRequest};
+use hnlpu::model::{zoo, ModelWeights, WeightGenerator};
 use hnlpu::sim::{BatchScheduler, SimConfig, WorkloadKind, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -14,9 +27,8 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
-fn main() {
-    let cfg = SimConfig::paper_default();
-    println!("HNLPU continuous-batching serving simulation");
+fn analytical_sweep(cfg: &SimConfig) {
+    println!("== analytical: 120B machine, chat workload sweep ==");
     println!(
         "pipeline slots: {}  |  nominal 2K-context decode rate: ~250K tokens/s\n",
         cfg.pipeline_slots()
@@ -50,6 +62,70 @@ fn main() {
     println!(
         "\nAt low arrival rates the machine is latency-bound (idle slots); past\n\
          ~500 req/s the 216 slots saturate and aggregate throughput approaches\n\
-         the Table 2 steady-state figure while tail latency grows with queueing."
+         the Table 2 steady-state figure while tail latency grows with queueing.\n"
     );
+}
+
+fn measured_batched_run(cfg: &SimConfig) {
+    println!("== measured: real tokens through the batched dataflow engine ==");
+    let card = zoo::dataflow_test_model();
+    let weights = ModelWeights::materialize(&card.config, &WeightGenerator::new(7));
+    let engine = BatchedDataflowExecutor::new(
+        DataflowExecutor::new(weights),
+        cfg.pipeline_slots() as usize,
+    );
+    // A small chat-shaped trace with real prompt tokens (the functional
+    // model is the 4x4-mappable test architecture, not the 120B machine).
+    let mut rng = StdRng::seed_from_u64(7);
+    let requests: Vec<SequenceRequest> = (0..24)
+        .map(|i| {
+            let prompt_len = rng.gen_range(4..16);
+            let prompt = (0..prompt_len)
+                .map(|_| rng.gen_range(0..card.config.vocab_size as u32))
+                .collect();
+            SequenceRequest::greedy(i * 500, prompt, rng.gen_range(8..24))
+        })
+        .collect();
+    let scheduler = BatchScheduler::new(cfg.clone(), 2048);
+    let (report, timing) = engine.run_with_scheduler(&requests, &scheduler);
+
+    println!(
+        "model: {}  |  sequences: {}  |  slots used at peak: {}",
+        card.name,
+        requests.len(),
+        report.peak_resident
+    );
+    println!(
+        "rounds: {}  |  prefill tokens: {}  |  decode tokens: {}",
+        report.rounds, report.prefill_tokens, report.decoded_tokens
+    );
+    println!(
+        "peak pooled KV: {} bytes fp16  |  collectives: {} ARs, {} reduces, {} AGs",
+        report.peak_kv_bytes_fp16,
+        report.comm.all_reduces,
+        report.comm.reduces,
+        report.comm.all_gathers
+    );
+    println!(
+        "measured (functional, this host): {:>10.0} decode tokens/s  ({:.0} incl. prefill)",
+        report.measured_decode_tokens_per_s(),
+        report.measured_tokens_per_s()
+    );
+    println!(
+        "analytical (120B HNLPU timing):   {:>10.0} decode tokens/s for the same schedule",
+        timing.throughput_tokens_per_s
+    );
+    println!(
+        "\nBoth numbers come from the SAME per-round slot assignments: the\n\
+         scheduler's RoundPlans drive the functional engine token-for-token\n\
+         (differentially tested against per-sequence execution), while the\n\
+         timing model prices those rounds for the full-size machine."
+    );
+}
+
+fn main() {
+    let cfg = SimConfig::paper_default();
+    println!("HNLPU continuous-batching serving simulation\n");
+    analytical_sweep(&cfg);
+    measured_batched_run(&cfg);
 }

@@ -1,0 +1,35 @@
+//! `any::<T>()` — the canonical strategy for a type.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, Standard};
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl<T: Standard> Arbitrary for T {
+    fn arbitrary(rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, `any::<u8>()`, …).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}

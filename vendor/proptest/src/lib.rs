@@ -1,0 +1,189 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Provides the `proptest!` macro, `prop_assert*` macros,
+//! [`ProptestConfig`], a [`Strategy`](strategy::Strategy) trait over
+//! numeric ranges / tuples / `prop_map`, `prop::collection::vec`, and
+//! `any::<T>()`. Differences from upstream:
+//!
+//! * each test case's RNG seed is derived deterministically from the
+//!   case index, so runs are exactly reproducible everywhere;
+//! * there is **no shrinking** — a failing case reports its inputs via
+//!   the panic message (the `Debug` of each bound variable).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` namespace (`prop::collection::vec(...)`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests. Mirrors upstream's grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(any::<bool>(), 1..9)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each `fn` inside `proptest!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run_cases(stringify!($name), |__proptest_rng| {
+                let mut __proptest_inputs = ::std::string::String::new();
+                $(
+                    let __proptest_val =
+                        $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                    __proptest_inputs.push_str(&::std::format!(
+                        "{} = {:?}; ",
+                        ::std::stringify!($pat),
+                        &__proptest_val
+                    ));
+                    let $pat = __proptest_val;
+                )+
+                let __proptest_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                __proptest_result.map_err(|e| e.with_inputs(&__proptest_inputs))
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert within a property; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard a case when its inputs don't satisfy a precondition. This
+/// shim counts a discarded case as passing (no resampling).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 10u32..20, y in -4i64..=4, f in 0.5f64..2.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in prop::collection::vec(any::<bool>(), 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+        }
+
+        #[test]
+        fn tuples_and_map_compose(p in (0u8..10, 0u8..10).prop_map(|(a, b)| (a.min(b), a.max(b)))) {
+            prop_assert!(p.0 <= p.1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_cases_accepted(seed in 0u64..1000) {
+            prop_assert!(seed < 1000);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0u32..100, 1..10);
+        let a: Vec<Vec<u32>> = (0..20)
+            .map(|i| strat.generate(&mut StdRng::seed_from_u64(i)))
+            .collect();
+        let b: Vec<Vec<u32>> = (0..20)
+            .map(|i| strat.generate(&mut StdRng::seed_from_u64(i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,309 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Mirrors the rayon trait names (`IntoParallelIterator`,
+//! `par_iter`, `par_iter_mut`, `ParallelIterator::{map, for_each,
+//! enumerate, collect, sum, count}`) so callers are source-compatible
+//! with upstream, but executes on `std::thread::scope` with one
+//! contiguous chunk per available core instead of a work-stealing pool.
+//! Ordering guarantees match rayon's indexed iterators: `collect`
+//! preserves input order.
+
+use std::thread;
+
+/// Worker count: one per available core.
+fn threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Apply `consumer` to every `(index, item)` pair in parallel,
+/// returning results in input order.
+fn drive_chunks<T: Send, R: Send>(
+    items: Vec<T>,
+    consumer: &(impl Fn(usize, T) -> R + Sync),
+) -> Vec<R> {
+    let n = items.len();
+    let workers = threads().min(n.max(1));
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| consumer(i, x))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    // Pair each input chunk with its output chunk so threads write
+    // disjoint regions.
+    let mut item_chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        item_chunks.push(std::mem::replace(&mut items, rest));
+    }
+    thread::scope(|s| {
+        for (ci, (in_chunk, out_chunk)) in item_chunks
+            .into_iter()
+            .zip(out.chunks_mut(chunk))
+            .enumerate()
+        {
+            s.spawn(move || {
+                let base = ci * chunk;
+                for (j, (x, slot)) in in_chunk.into_iter().zip(out_chunk.iter_mut()).enumerate() {
+                    *slot = Some(consumer(base + j, x));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The produced element type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `collection.par_iter()` — parallel iteration by shared reference.
+pub trait IntoParallelRefIterator<'data> {
+    /// The produced element type (`&'data T`).
+    type Item: Send + 'data;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Iterate by shared reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Item = <&'data C as IntoParallelIterator>::Item;
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `collection.par_iter_mut()` — parallel iteration by unique reference.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The produced element type (`&'data mut T`).
+    type Item: Send + 'data;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Iterate by unique reference.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoParallelIterator,
+{
+    type Item = <&'data mut C as IntoParallelIterator>::Item;
+    type Iter = <&'data mut C as IntoParallelIterator>::Iter;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// A parallel iterator: adaptors compose closures, the terminal
+/// operation fans work out across threads.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Apply `consumer` to each `(index, item)` in parallel, preserving
+    /// input order in the result.
+    fn drive<R: Send>(self, consumer: &(impl Fn(usize, Self::Item) -> R + Sync)) -> Vec<R>;
+
+    /// Map each element through `f`.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync + Send>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Pair each element with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Run `f` on every element.
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        self.drive(&|_, x| f(x));
+    }
+
+    /// Collect into `C`, preserving input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive(&|_, x| x).into_iter().collect()
+    }
+
+    /// Sum the elements.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.drive(&|_, x| x).into_iter().sum()
+    }
+
+    /// Count the elements.
+    fn count(self) -> usize {
+        self.drive(&|_, _| ()).len()
+    }
+}
+
+/// Source iterator over pre-materialized items.
+pub struct ParVec<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn drive<R: Send>(self, consumer: &(impl Fn(usize, T) -> R + Sync)) -> Vec<R> {
+        drive_chunks(self.items, consumer)
+    }
+}
+
+/// [`ParallelIterator::map`] adaptor.
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I: ParallelIterator, R: Send, F: Fn(I::Item) -> R + Sync + Send> ParallelIterator
+    for Map<I, F>
+{
+    type Item = R;
+
+    fn drive<R2: Send>(self, consumer: &(impl Fn(usize, R) -> R2 + Sync)) -> Vec<R2> {
+        let f = &self.f;
+        self.inner.drive(&move |i, x| consumer(i, f(x)))
+    }
+}
+
+/// [`ParallelIterator::enumerate`] adaptor.
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn drive<R: Send>(self, consumer: &(impl Fn(usize, (usize, I::Item)) -> R + Sync)) -> Vec<R> {
+        self.inner.drive(&move |i, x| consumer(i, (i, x)))
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParVec<&'a T>;
+
+    fn into_par_iter(self) -> ParVec<&'a T> {
+        ParVec {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParVec<&'a T>;
+
+    fn into_par_iter(self) -> ParVec<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Iter = ParVec<&'a mut T>;
+
+    fn into_par_iter(self) -> ParVec<&'a mut T> {
+        ParVec {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParVec<&'a mut T>;
+
+    fn into_par_iter(self) -> ParVec<&'a mut T> {
+        self.as_mut_slice().into_par_iter()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParVec<usize>;
+
+    fn into_par_iter(self) -> ParVec<usize> {
+        ParVec {
+            items: self.collect(),
+        }
+    }
+}
+
+/// The traits a caller needs in scope.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element_once() {
+        let mut v = vec![0u32; 5000];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn enumerate_indices_are_global() {
+        let v = vec![7u8; 1000];
+        let idx: Vec<usize> = v.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert_eq!(idx, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_source_and_sum() {
+        let total: usize = (0..1000usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(total, 499_500);
+        assert_eq!((0..77usize).into_par_iter().count(), 77);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

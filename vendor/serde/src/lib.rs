@@ -1,0 +1,223 @@
+//! Offline shim for the `serde` crate.
+//!
+//! Instead of serde's visitor architecture, this shim routes everything
+//! through a single JSON-like [`Value`] data model: [`Serialize`] maps a
+//! type *to* a [`Value`], [`Deserialize`] builds a type *from* one. The
+//! companion `serde_json` shim renders/parses `Value` as JSON text, and
+//! `serde_derive` generates these impls for plain structs and
+//! unit-variant enums.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{Error, Value};
+
+/// Types that can be converted into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Build `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value has the wrong shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for primitives and containers.
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+serialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// Tuples serialize as fixed-length arrays, as in upstream serde.
+macro_rules! serialize_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$(stringify!($idx)),+].len();
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::type_mismatch("fixed-length array", other)),
+                }
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // Supports round-tripping types that store `&'static str` (e.g.
+        // model cards). Leaks the string; acceptable for the config- and
+        // test-sized payloads this workspace deserializes.
+        String::from_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::type_mismatch("bool", other)),
+        }
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) if n.fract() == 0.0 => {
+                        let lo = <$t>::MIN as f64;
+                        let hi = <$t>::MAX as f64;
+                        if *n >= lo && *n <= hi {
+                            Ok(*n as $t)
+                        } else {
+                            Err(Error::new(format!(
+                                "integer {n} out of range for {}",
+                                stringify!($t)
+                            )))
+                        }
+                    }
+                    other => Err(Error::type_mismatch("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! deserialize_float {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(Error::type_mismatch("number", other)),
+                }
+            }
+        }
+    )*};
+}
+deserialize_float!(f32, f64);
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,436 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote`: they are unavailable
+//! offline). Supports exactly the item shapes this workspace uses:
+//!
+//! * structs with named fields, including `#[serde(default)]` and
+//!   `#[serde(alias = "...")]` field attributes;
+//! * enums with unit variants (serialized as the variant name string)
+//!   and/or named-field struct variants (externally tagged:
+//!   `{"Variant": {fields}}`), matching serde's default representation.
+//!
+//! Anything else (generics, tuple structs, tuple variants) produces a
+//! compile error rather than silently wrong code. Generated impls
+//! target the `Value`-based `Serialize`/`Deserialize` traits of the
+//! vendored `serde` shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match (&item.shape, mode) {
+                (Shape::Struct(fields), Mode::Serialize) => serialize_struct(&item.name, fields),
+                (Shape::Struct(fields), Mode::Deserialize) => {
+                    deserialize_struct(&item.name, fields)
+                }
+                (Shape::Enum(variants), Mode::Serialize) => serialize_enum(&item.name, variants),
+                (Shape::Enum(variants), Mode::Deserialize) => {
+                    deserialize_enum(&item.name, variants)
+                }
+            };
+            code.parse()
+                .expect("serde_derive shim generated invalid Rust")
+        }
+        Err(msg) => format!("::std::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error emission"),
+    }
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: bool,
+    aliases: Vec<String>,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip leading attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive shim: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive shim: expected item name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive shim: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde_derive shim: `{name}` must be a brace-delimited {kind}"
+            ))
+        }
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_fields(body)?),
+        "enum" => Shape::Enum(parse_variants(&name, body)?),
+        other => return Err(format!("serde_derive shim: unsupported item `{other}`")),
+    };
+    Ok(Item { name, shape })
+}
+
+/// Parse `#[serde(...)]` contents accumulated for the current field.
+fn parse_serde_attr(stream: TokenStream, default: &mut bool, aliases: &mut Vec<String>) {
+    let mut iter = stream.into_iter().peekable();
+    while let Some(tok) = iter.next() {
+        if let TokenTree::Ident(id) = &tok {
+            match id.to_string().as_str() {
+                "default" => *default = true,
+                "alias" => {
+                    // `alias = "name"`
+                    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        iter.next();
+                        if let Some(TokenTree::Literal(lit)) = iter.next() {
+                            let s = lit.to_string();
+                            aliases.push(s.trim_matches('"').to_string());
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        let mut aliases = Vec::new();
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" {
+                        parse_serde_attr(args.stream(), &mut default, &mut aliases);
+                    }
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "serde_derive shim: expected field name, found `{other}` (tuple structs are unsupported)"
+                ))
+            }
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde_derive shim: expected `:` after `{name}`")),
+        }
+        // Skip the type: consume until a top-level `,` (tracking `<...>`
+        // depth; bracketed token groups are single trees already).
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            default,
+            aliases,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(enum_name: &str, body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes (incl. doc comments).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "serde_derive shim: unexpected token `{other}` in enum `{enum_name}`"
+                ))
+            }
+            None => break,
+        };
+        i += 1;
+        let mut fields = None;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                fields = Some(parse_fields(g.stream())?);
+                i += 1;
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde_derive shim: enum `{enum_name}` variant `{name}` is a tuple variant; only unit and struct variants are supported"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the next comma.
+                i += 1;
+                while let Some(tok) = tokens.get(i) {
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn serialize_struct(name: &str, fields: &[Field]) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({n:?}), ::serde::Serialize::to_value(&self.{n})),",
+                n = f.name
+            )
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{pushes}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[Field]) -> String {
+    let inits = field_inits(fields, "v");
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if !::std::matches!(v, ::serde::Value::Object(_)) {{\n\
+                     return ::std::result::Result::Err(::serde::Error::type_mismatch(\"object\", v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Field initializers for a braced constructor, pulling each field out
+/// of the `Value` object named by `src`.
+fn field_inits(fields: &[Field], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let mut names = vec![f.name.clone()];
+            names.extend(f.aliases.iter().cloned());
+            let name_list: String = names.iter().map(|n| format!("{n:?},")).collect();
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::Error::missing_field({:?}))",
+                    f.name
+                )
+            };
+            format!(
+                "{field}: match ::serde::Value::get_first({src}, &[{name_list}]) {{\n\
+                     ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                     ::std::option::Option::None => {missing},\n\
+                 }},",
+                field = f.name
+            )
+        })
+        .collect()
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    // Externally tagged, as serde does by default: unit variants become
+    // the variant-name string, struct variants `{"Variant": {fields}}`.
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                None => format!(
+                    "{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),"
+                ),
+                Some(fields) => {
+                    let bindings: String =
+                        fields.iter().map(|f| format!("{},", f.name)).collect();
+                    let pushes: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({n:?}), ::serde::Serialize::to_value({n})),",
+                                n = f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {bindings} }} => ::serde::Value::Object(::std::vec![(\n\
+                             ::std::string::String::from({vn:?}),\n\
+                             ::serde::Value::Object(::std::vec![{pushes}]),\n\
+                         )]),"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| v.fields.is_none())
+        .map(|v| {
+            format!(
+                "{:?} => ::std::result::Result::Ok({name}::{}),",
+                v.name, v.name
+            )
+        })
+        .collect();
+    let struct_arms: String = variants
+        .iter()
+        .filter_map(|v| v.fields.as_ref().map(|f| (&v.name, f)))
+        .map(|(vn, fields)| {
+            let inits = field_inits(fields, "__inner");
+            format!("{vn:?} => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),")
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\n\
+                             \"unknown variant `{{other}}` for enum {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {struct_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\n\
+                                 \"unknown variant `{{other}}` for enum {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::type_mismatch(\"string or single-key object\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
