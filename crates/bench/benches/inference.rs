@@ -1,0 +1,14 @@
+//! Inference hot-path benchmarks: packed region-accumulation engines vs
+//! the dense-`f32` naive baseline. The suite itself lives in
+//! `hnlpu_bench::inference` so the `bench_baseline` example can emit the
+//! same measurements as a committed JSON baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hnlpu_bench::inference::inference_suite;
+
+fn bench(c: &mut Criterion) {
+    inference_suite(c);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Emit (or verify) the committed inference benchmark baseline.
+//!
+//! Default mode runs the full `hnlpu_bench::inference` suite and writes
+//! `BENCH_inference.json` at the repository root: per-benchmark ns/op,
+//! tokens/s where the benchmark has a token interpretation, the realized
+//! kernel path, and the headline packed-over-naive decode speedup.
+//!
+//! `--check` instead parses the committed file and validates its shape —
+//! the cheap CI guard that the baseline stays machine-readable.
+//!
+//! ```text
+//! cargo run --release -p hnlpu-bench --example bench_baseline
+//! cargo run --release -p hnlpu-bench --example bench_baseline -- --check
+//! ```
+
+use criterion::Criterion;
+use hnlpu::llm::kernels;
+use hnlpu_bench::inference::{inference_suite, TOKENS_PER_ITER};
+use serde_json::Value;
+
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
+const SCHEMA: &str = "hnlpu-bench/inference/v1";
+
+fn tokens_per_iter(label: &str) -> Option<f64> {
+    TOKENS_PER_ITER
+        .iter()
+        .find(|(l, _)| *l == label)
+        .map(|&(_, t)| t as f64)
+}
+
+fn render(c: &Criterion) -> String {
+    let results = c.results();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!(
+        "  \"kernel_path\": \"{}\",\n",
+        kernels::kernel_path()
+    ));
+    let speedup = decode_speedup(results);
+    out.push_str(&format!(
+        "  \"decode_speedup_packed_over_naive\": {speedup:.3},\n"
+    ));
+    // The shim's own rendering of the raw measurements, label -> ns/iter.
+    out.push_str(&format!("  \"raw_ns_per_iter\": {},\n", c.summary_json()));
+    out.push_str("  \"benches\": {\n");
+    for (i, (label, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        match tokens_per_iter(label) {
+            Some(toks) => {
+                let ns_per_op = ns / toks;
+                let tokens_per_s = toks / (ns * 1e-9);
+                out.push_str(&format!(
+                    "    \"{label}\": {{ \"ns_per_op\": {ns_per_op:.1}, \"tokens_per_s\": {tokens_per_s:.1} }}{comma}\n"
+                ));
+            }
+            None => {
+                out.push_str(&format!(
+                    "    \"{label}\": {{ \"ns_per_op\": {ns:.1} }}{comma}\n"
+                ));
+            }
+        }
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn decode_speedup(results: &[(String, f64)]) -> f64 {
+    let ns_of = |label: &str| {
+        results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, ns)| ns)
+            .unwrap_or(f64::NAN)
+    };
+    // Same token count on both sides, so the ns ratio is the tokens/s ratio.
+    ns_of("inference/decode/naive") / ns_of("inference/decode/packed")
+}
+
+fn check() {
+    let text = std::fs::read_to_string(BASELINE_PATH)
+        .unwrap_or_else(|e| panic!("cannot read {BASELINE_PATH}: {e}"));
+    let v: Value = serde_json::from_str(&text).expect("BENCH_inference.json is not valid JSON");
+    assert_eq!(v["schema"], SCHEMA, "unexpected schema tag");
+    assert!(
+        v["kernel_path"].as_str().is_some(),
+        "kernel_path must be a string"
+    );
+    assert!(
+        v["decode_speedup_packed_over_naive"].as_f64().is_some(),
+        "decode speedup must be a number"
+    );
+    let Value::Object(raw) = &v["raw_ns_per_iter"] else {
+        panic!("raw_ns_per_iter must be an object");
+    };
+    assert!(!raw.is_empty(), "raw_ns_per_iter must not be empty");
+    let Value::Object(benches) = &v["benches"] else {
+        panic!("benches must be an object");
+    };
+    assert!(!benches.is_empty(), "benches must not be empty");
+    for (label, entry) in benches {
+        assert!(
+            entry["ns_per_op"].as_f64().is_some_and(|ns| ns > 0.0),
+            "bench {label} needs a positive ns_per_op"
+        );
+    }
+    for (label, _) in TOKENS_PER_ITER {
+        assert!(
+            v["benches"][*label]["tokens_per_s"]
+                .as_f64()
+                .is_some_and(|t| t > 0.0),
+            "bench {label} needs a positive tokens_per_s"
+        );
+    }
+    println!(
+        "BENCH_inference.json ok: {} benches, kernel_path={}, decode speedup {:.2}x",
+        benches.len(),
+        v["kernel_path"].as_str().unwrap_or("?"),
+        v["decode_speedup_packed_over_naive"]
+            .as_f64()
+            .unwrap_or(f64::NAN)
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        check();
+        return;
+    }
+    let mut c = Criterion::default();
+    inference_suite(&mut c);
+    let json = render(&c);
+    std::fs::write(BASELINE_PATH, &json)
+        .unwrap_or_else(|e| panic!("cannot write {BASELINE_PATH}: {e}"));
+    println!(
+        "wrote {BASELINE_PATH} (kernel_path={}, decode speedup {:.2}x packed over naive)",
+        kernels::kernel_path(),
+        decode_speedup(c.results())
+    );
+}

@@ -1,1 +1,5 @@
-//! Benchmark host crate. All benches live in `benches/`.
+//! Benchmark host crate. Paper-table benches live in `benches/`; the
+//! [`inference`] module holds the engine-level suite shared between the
+//! `inference` bench target and the `bench_baseline` example.
+
+pub mod inference;

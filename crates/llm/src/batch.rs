@@ -17,6 +17,7 @@
 
 use crate::dataflow::{CommCounters, DataflowExecutor, DataflowState};
 use crate::sampler::Sampler;
+use crate::scratch::Scratch;
 use hnlpu_sim::scheduler::{BatchScheduler, Request, RoundPlan};
 use std::time::Instant;
 
@@ -106,8 +107,10 @@ struct SeqSlot {
     target: usize,
     sampler: Sampler,
     state: DataflowState,
-    /// Logits of the most recent step (valid once anything was stepped).
-    logits: Vec<f32>,
+    /// Per-slot scratch arena; its `logits()` hold the most recent step's
+    /// output (valid once anything was stepped), and reusing it keeps the
+    /// whole residency of the sequence allocation-free.
+    scratch: Scratch,
     /// Prompt tokens consumed so far.
     prefill_pos: usize,
     out: Vec<u32>,
@@ -339,7 +342,7 @@ impl BatchedDataflowExecutor {
             target: req.decode_tokens as usize,
             sampler: req.sampler.clone(),
             state: self.inner.new_state(),
-            logits: Vec::new(),
+            scratch: self.inner.new_scratch(),
             prefill_pos: 0,
             out: Vec::new(),
         };
@@ -381,14 +384,16 @@ impl BatchedDataflowExecutor {
     fn advance(&self, slot: &mut SeqSlot, action: Action) {
         for _ in 0..action.prefill {
             let token = slot.prompt[slot.prefill_pos];
-            slot.logits = self.inner.step(token, &mut slot.state);
+            self.inner
+                .step_with(token, &mut slot.state, &mut slot.scratch);
             slot.prefill_pos += 1;
         }
         if action.decode {
-            let next = slot.sampler.sample(&slot.logits);
+            let next = slot.sampler.sample(slot.scratch.logits());
             slot.out.push(next);
             if slot.out.len() < slot.target {
-                slot.logits = self.inner.step(next, &mut slot.state);
+                self.inner
+                    .step_with(next, &mut slot.state, &mut slot.scratch);
             }
         }
     }

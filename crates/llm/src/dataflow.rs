@@ -7,15 +7,24 @@
 //! quarter of the context with running max/sum statistics, and the column
 //! group combines the partials exactly.
 //!
+//! Weight slices stay in their resident packed-FP4 form: a chip's partial
+//! product is a [`crate::kernels::matvec_block_into`] over its block of the
+//! packed matrix, so nothing is ever dequantized. All per-step
+//! intermediates live in a caller-provided [`Scratch`] arena
+//! ([`step_with`](DataflowExecutor::step_with)); the allocating entry
+//! points remain as wrappers.
+//!
 //! The executor is verified token-for-token against
 //! [`crate::reference::Transformer`].
 
+use crate::kernels::{matvec_block_into, matvec_into};
 use crate::kv_cache::KvCache;
 use crate::lora::LoraAdapter;
-use crate::ops::{rmsnorm, rope, softmax, swiglu, topk};
+use crate::ops::{rmsnorm_into, softmax, softmax_in_place, swiglu_in_place, topk_into};
 use crate::sampler::Sampler;
-use crate::tensor::{add_assign, dot, vec_mat_block};
-use hnlpu_model::{ModelWeights, TransformerConfig};
+use crate::scratch::Scratch;
+use crate::tensor::{add_assign, dot};
+use hnlpu_model::{ModelWeights, PackedFp4Matrix, TransformerConfig};
 
 /// Chip-grid dimension (the paper's 4×4 fabric).
 pub const GRID: usize = 4;
@@ -138,8 +147,9 @@ impl DataflowExecutor {
 
     /// Install a LoRA adapter on `layer`'s query projection. The adapter
     /// weights live in the ~1% field-programmable side-channel; the delta
-    /// is computed redundantly on every chip (rank-r work is negligible)
-    /// and each column adds its slice — no extra communication.
+    /// is computed once per layer (the seed computed the identical value
+    /// redundantly on every chip) and each column adds its slice — no
+    /// extra communication.
     ///
     /// # Panics
     ///
@@ -173,27 +183,68 @@ impl DataflowExecutor {
         }
     }
 
+    /// A scratch arena sized for this model (reusable across steps and
+    /// sequences).
+    pub fn new_scratch(&self) -> Scratch {
+        Scratch::new(self.config())
+    }
+
     /// One decode step through the 16-chip machine.
     pub fn step(&self, token: u32, state: &mut DataflowState) -> Vec<f32> {
-        let xf = self.hidden_step(token, state);
+        let mut scratch = self.new_scratch();
+        self.step_with(token, state, &mut scratch);
+        scratch.logits
+    }
+
+    /// Allocation-free [`step`](Self::step): the logits land in
+    /// `scratch.logits()`.
+    pub fn step_with(&self, token: u32, state: &mut DataflowState, scratch: &mut Scratch) {
+        self.hidden_step_with(token, state, scratch);
         // Unembedding: each chip produces a vocabulary shard, all-gathered.
-        self.unembed_sharded(&xf, state)
+        let c = self.config();
+        let h = c.hidden_size;
+        let chips = GRID * GRID;
+        let shard = c.vocab_size.div_ceil(chips);
+        let Scratch { xn, logits, .. } = scratch;
+        for chip in 0..chips {
+            let lo = chip * shard;
+            let hi = ((chip + 1) * shard).min(c.vocab_size);
+            for (t, logit) in logits[lo..hi]
+                .iter_mut()
+                .enumerate()
+                .map(|(i, l)| (lo + i, l))
+            {
+                *logit = dot(xn, &self.weights.embedding[t * h..(t + 1) * h]);
+            }
+        }
+        state.comm.all_gathers += 1;
+        state.comm.bytes += c.vocab_size as u64 * 4;
     }
 
     /// As [`step`](Self::step), but return the final normalized hidden
     /// state (replicated on all chips after the last all-reduce).
     pub fn hidden_step(&self, token: u32, state: &mut DataflowState) -> Vec<f32> {
+        let mut scratch = self.new_scratch();
+        self.hidden_step_with(token, state, &mut scratch);
+        scratch.xn
+    }
+
+    /// Allocation-free [`hidden_step`](Self::hidden_step): the normalized
+    /// hidden state lands in `scratch.hidden()`.
+    pub fn hidden_step_with(&self, token: u32, state: &mut DataflowState, scratch: &mut Scratch) {
         let c = *self.config();
         let h = c.hidden_size;
         assert!((token as usize) < c.vocab_size, "token out of vocabulary");
         // Embedding lookup is local on every chip (replicated dictionary).
-        let mut x: Vec<f32> =
-            self.weights.embedding[token as usize * h..(token as usize + 1) * h].to_vec();
+        scratch
+            .x
+            .copy_from_slice(&self.weights.embedding[token as usize * h..(token as usize + 1) * h]);
         for layer in 0..c.num_layers {
-            x = self.block(&x, layer, state);
+            self.block_with(layer, state, scratch);
         }
         state.position += 1;
-        rmsnorm(&x)
+        let Scratch { x, xn, .. } = scratch;
+        rmsnorm_into(x, xn);
     }
 
     /// Sequence scoring (§8 future work 3) on the 16-chip machine.
@@ -204,12 +255,13 @@ impl DataflowExecutor {
     pub fn score_sequence(&self, tokens: &[u32]) -> f64 {
         assert!(tokens.len() >= 2, "need at least two tokens to score");
         let mut state = self.new_state();
+        let mut scratch = self.new_scratch();
         let mut total = 0.0f64;
-        let mut logits = self.step(tokens[0], &mut state);
+        self.step_with(tokens[0], &mut state, &mut scratch);
         for &next in &tokens[1..] {
-            let probs = softmax(&logits);
+            let probs = softmax(scratch.logits());
             total += (probs[next as usize].max(f32::MIN_POSITIVE) as f64).ln();
-            logits = self.step(next, &mut state);
+            self.step_with(next, &mut state, &mut scratch);
         }
         total
     }
@@ -222,10 +274,11 @@ impl DataflowExecutor {
     pub fn text_embedding(&self, tokens: &[u32]) -> Vec<f32> {
         assert!(!tokens.is_empty(), "need at least one token to embed");
         let mut state = self.new_state();
+        let mut scratch = self.new_scratch();
         let mut pooled = vec![0.0f32; self.config().hidden_size];
         for &t in tokens {
-            let hs = self.hidden_step(t, &mut state);
-            add_assign(&mut pooled, &hs);
+            self.hidden_step_with(t, &mut state, &mut scratch);
+            add_assign(&mut pooled, scratch.hidden());
         }
         let inv = 1.0 / tokens.len() as f32;
         for v in &mut pooled {
@@ -234,7 +287,9 @@ impl DataflowExecutor {
         pooled
     }
 
-    fn block(&self, x: &[f32], layer: usize, state: &mut DataflowState) -> Vec<f32> {
+    /// One transformer block: reads the residual from `scratch.x`, writes
+    /// the updated residual back into it.
+    fn block_with(&self, layer: usize, state: &mut DataflowState, scratch: &mut Scratch) {
         let c = *self.config();
         let w = &self.weights.layers[layer];
         let h = c.hidden_size;
@@ -247,243 +302,162 @@ impl DataflowExecutor {
         let q_heads_per_col = c.attention.num_query_heads / GRID;
         let group = c.attention.group_size();
         let row_slice = h / GRID;
-        let position = state.position;
+        let DataflowState { kv, position, comm } = state;
+        let position = *position;
+        let Scratch {
+            x,
+            xn,
+            xo,
+            y,
+            q,
+            k,
+            v,
+            attn,
+            partial,
+            scores,
+            flash_acc,
+            numer,
+            router_logits,
+            chosen,
+            expert_w,
+            up,
+            gate,
+            down,
+            delta,
+            lora_hidden,
+            rope,
+            ..
+        } = scratch;
 
-        let xn = rmsnorm(x);
+        rmsnorm_into(x, xn);
+
+        // Field-programmable side-channel: the rank-r delta is computed
+        // once (every chip would hold the identical value) and sliced per
+        // column below.
+        let has_adapter = match &self.q_adapters[layer] {
+            Some(adapter) => {
+                adapter.delta_into(xn, lora_hidden, delta);
+                true
+            }
+            None => false,
+        };
 
         // (II) Query projection: chip (r, c) computes a partial over its
         // row slice of X and its column's slice of Wq; column all-reduce.
-        let mut q_cols: Vec<Vec<f32>> = Vec::with_capacity(GRID);
-        let mut k_cols: Vec<Vec<f32>> = Vec::with_capacity(GRID);
-        let mut v_cols: Vec<Vec<f32>> = Vec::with_capacity(GRID);
         for col in 0..GRID {
-            let mut q = self.col_projected(&xn, &w.wq, qw, col, q_per_col, row_slice, state);
-            if let Some(adapter) = &self.q_adapters[layer] {
-                // Field-programmable side-channel: the rank-r delta is
-                // computed locally on each chip and sliced per column.
-                let delta = adapter.delta(&xn);
-                for (qv, d) in q
+            let q_col = &mut q[col * q_per_col..(col + 1) * q_per_col];
+            col_project(xn, &w.wq, col, q_per_col, row_slice, partial, q_col, comm);
+            if has_adapter {
+                for (qv, d) in q_col
                     .iter_mut()
                     .zip(delta[col * q_per_col..(col + 1) * q_per_col].iter())
                 {
                     *qv += d;
                 }
             }
-            let k = self.col_projected(&xn, &w.wk, kvw, col, kv_per_col, row_slice, state);
-            let v = self.col_projected(&xn, &w.wv, kvw, col, kv_per_col, row_slice, state);
-            q_cols.push(q);
-            k_cols.push(k);
-            v_cols.push(v);
+            let k_col = &mut k[col * kv_per_col..(col + 1) * kv_per_col];
+            col_project(xn, &w.wk, col, kv_per_col, row_slice, partial, k_col, comm);
+            let v_col = &mut v[col * kv_per_col..(col + 1) * kv_per_col];
+            col_project(xn, &w.wv, col, kv_per_col, row_slice, partial, v_col, comm);
         }
         // K and V land on chip (position mod 4) of each column ((III)).
+        rope.prepare(position);
         for col in 0..GRID {
-            state.comm.reduces += 2;
-            state.comm.bytes += 2 * (kv_per_col as u64) * 4;
+            comm.reduces += 2;
+            comm.bytes += 2 * (kv_per_col as u64) * 4;
             // RoPE on the VEX before caching.
             for head in 0..q_heads_per_col {
-                rope(&mut q_cols[col][head * hd..(head + 1) * hd], position);
+                rope.apply(&mut q[col * q_per_col + head * hd..][..hd]);
             }
             for head in 0..kv_heads_per_col {
-                rope(&mut k_cols[col][head * hd..(head + 1) * hd], position);
+                rope.apply(&mut k[col * kv_per_col + head * hd..][..hd]);
             }
             let owner = position % GRID;
-            state.kv[col][owner].append(layer, &k_cols[col], &v_cols[col]);
+            kv[col][owner].append(
+                layer,
+                &k[col * kv_per_col..(col + 1) * kv_per_col],
+                &v[col * kv_per_col..(col + 1) * kv_per_col],
+            );
         }
 
         // (IV, V) Attention per column with flash-style partial combine.
-        let mut attn_cols: Vec<Vec<f32>> = Vec::with_capacity(GRID);
-        for (col, q_col) in q_cols.iter().enumerate() {
-            attn_cols.push(self.column_attention(
-                q_col,
+        for col in 0..GRID {
+            column_attention(
+                &q[col * q_per_col..(col + 1) * q_per_col],
                 layer,
-                col,
+                &kv[col],
                 q_heads_per_col,
                 group,
                 hd,
-                state,
-            ));
+                scores,
+                flash_acc,
+                numer,
+                &mut attn[col * q_per_col..(col + 1) * q_per_col],
+                comm,
+            );
         }
 
         // (VI) Output projection: Wo rows are the column's head block,
         // columns sliced by row index; row all-reduce + column all-gather.
-        let mut xo = vec![0.0f32; h];
         for r in 0..GRID {
-            let mut slice = vec![0.0f32; row_slice];
-            for (col, attn) in attn_cols.iter().enumerate() {
-                // `attn` indexes the column's own head block: offset the
-                // rows of Wo to that block.
-                let part = vec_mat_block_offset(
-                    attn,
+            let slice = &mut xo[r * row_slice..(r + 1) * row_slice];
+            slice.fill(0.0);
+            let part = &mut partial[..row_slice];
+            for col in 0..GRID {
+                // The column's `attn` block indexes rows of Wo at the
+                // block's head offset.
+                matvec_block_into(
+                    &attn[col * q_per_col..(col + 1) * q_per_col],
                     &w.wo,
-                    h,
                     col * q_per_col,
                     r * row_slice..(r + 1) * row_slice,
+                    part,
                 );
-                add_assign(&mut slice, &part);
+                add_assign(slice, part);
             }
             // Row all-reduce of the four column partials.
-            state.comm.all_reduces += 1;
-            state.comm.bytes += row_slice as u64 * 4;
-            xo[r * row_slice..(r + 1) * row_slice].copy_from_slice(&slice);
+            comm.all_reduces += 1;
+            comm.bytes += row_slice as u64 * 4;
         }
         // Column all-gather so every chip holds the full Xo.
-        state.comm.all_gathers += 1;
-        state.comm.bytes += h as u64 * 4;
-        add_assign(&mut xo, x); // first residual (local on every chip)
+        comm.all_gathers += 1;
+        comm.bytes += h as u64 * 4;
+        add_assign(xo, x); // first residual (local on every chip)
 
         // (VII) Router: weights replicated on all chips, no communication.
-        let xn2 = rmsnorm(&xo);
-        let router_logits = crate::tensor::vec_mat(&xn2, &w.router, c.moe.num_experts);
-        let chosen = topk(&router_logits, c.moe.experts_per_token);
-        let chosen_logits: Vec<f32> = chosen.iter().map(|&e| router_logits[e]).collect();
-        let expert_weights = softmax(&chosen_logits);
+        rmsnorm_into(xo, xn);
+        matvec_into(xn, &w.router, router_logits);
+        topk_into(router_logits, c.moe.experts_per_token, chosen);
+        expert_w.clear();
+        expert_w.extend(chosen.iter().map(|&e| router_logits[e]));
+        softmax_in_place(expert_w);
 
         // (VIII, IX) Experts: chip i owns experts [i*E/16, (i+1)*E/16);
-        // partial outputs summed by an all-chip all-reduce.
+        // partial outputs summed by an all-chip all-reduce. Only the
+        // packed bytes of the ≤ experts_per_token chosen experts are ever
+        // touched.
         let experts_per_chip = c.moe.num_experts / (GRID * GRID);
-        let mut y = vec![0.0f32; h];
+        y.fill(0.0);
         for chip in 0..GRID * GRID {
             let lo = chip * experts_per_chip;
             let hi = lo + experts_per_chip;
-            for (&expert, &ew) in chosen.iter().zip(expert_weights.iter()) {
+            for (&expert, &ew) in chosen.iter().zip(expert_w.iter()) {
                 if expert < lo || expert >= hi {
                     continue;
                 }
-                let up = crate::tensor::vec_mat(&xn2, &w.up[expert], c.moe.intermediate_size);
-                let gate = crate::tensor::vec_mat(&xn2, &w.gate[expert], c.moe.intermediate_size);
-                let act = swiglu(&gate, &up);
-                let down = crate::tensor::vec_mat(&act, &w.down[expert], h);
+                matvec_into(xn, &w.up[expert], up);
+                matvec_into(xn, &w.gate[expert], gate);
+                swiglu_in_place(gate, up);
+                matvec_into(gate, &w.down[expert], down);
                 for (yo, &d) in y.iter_mut().zip(down.iter()) {
                     *yo += ew * d;
                 }
             }
         }
-        state.comm.all_chip_all_reduces += 1;
-        state.comm.bytes += h as u64 * 4;
-        add_assign(&mut y, &xo); // second residual
-        y
-    }
-
-    /// Column projection with partial sums: each of the 4 chips of `col`
-    /// multiplies its row slice of `x` against its block of `w`; the column
-    /// all-reduce sums the partials.
-    #[allow(clippy::too_many_arguments)]
-    fn col_projected(
-        &self,
-        x: &[f32],
-        w: &[f32],
-        w_cols: usize,
-        col: usize,
-        per_col: usize,
-        row_slice: usize,
-        state: &mut DataflowState,
-    ) -> Vec<f32> {
-        let mut acc = vec![0.0f32; per_col];
-        for r in 0..GRID {
-            let part = vec_mat_block(
-                x,
-                w,
-                w_cols,
-                r * row_slice..(r + 1) * row_slice,
-                col * per_col..(col + 1) * per_col,
-            );
-            add_assign(&mut acc, &part);
-        }
-        state.comm.all_reduces += 1;
-        state.comm.bytes += per_col as u64 * 4;
-        acc
-    }
-
-    /// Flash-style column attention: each chip computes running-max
-    /// statistics over its quarter of the context; the column all-reduce
-    /// combines them exactly.
-    #[allow(clippy::too_many_arguments)]
-    fn column_attention(
-        &self,
-        q_col: &[f32],
-        layer: usize,
-        col: usize,
-        q_heads_per_col: usize,
-        group: usize,
-        hd: usize,
-        state: &mut DataflowState,
-    ) -> Vec<f32> {
-        let scale = 1.0 / (hd as f32).sqrt();
-        let mut out = vec![0.0f32; q_heads_per_col * hd];
-        for head in 0..q_heads_per_col {
-            let kv_head = head / group; // within the column's head block
-            let qv = &q_col[head * hd..(head + 1) * hd];
-            // Per-chip flash partials.
-            struct Partial {
-                m: f32,
-                sum: f32,
-                acc: Vec<f32>,
-            }
-            let mut partials: Vec<Partial> = Vec::with_capacity(GRID);
-            for chip in 0..GRID {
-                let cache = &state.kv[col][chip];
-                let positions = cache.len();
-                if positions == 0 {
-                    continue;
-                }
-                let mut m = f32::NEG_INFINITY;
-                let mut scores = Vec::with_capacity(positions);
-                for p in 0..positions {
-                    let s = dot(qv, cache.key(layer, p, kv_head)) * scale;
-                    m = m.max(s);
-                    scores.push(s);
-                }
-                let mut sum = 0.0f32;
-                let mut acc = vec![0.0f32; hd];
-                for (p, &s) in scores.iter().enumerate() {
-                    let e = (s - m).exp();
-                    sum += e;
-                    let v = cache.value(layer, p, kv_head);
-                    for (a, &vv) in acc.iter_mut().zip(v.iter()) {
-                        *a += e * vv;
-                    }
-                }
-                partials.push(Partial { m, sum, acc });
-            }
-            // Exact combine across the column group.
-            let gm = partials.iter().fold(f32::NEG_INFINITY, |a, p| a.max(p.m));
-            let mut denom = 0.0f32;
-            let mut numer = vec![0.0f32; hd];
-            for p in &partials {
-                let w = (p.m - gm).exp();
-                denom += p.sum * w;
-                for (n, &a) in numer.iter_mut().zip(p.acc.iter()) {
-                    *n += a * w;
-                }
-            }
-            let o = &mut out[head * hd..(head + 1) * hd];
-            for (oo, &n) in o.iter_mut().zip(numer.iter()) {
-                *oo = n / denom;
-            }
-        }
-        state.comm.all_reduces += 1;
-        state.comm.bytes += (q_heads_per_col * hd) as u64 * 4;
-        out
-    }
-
-    /// Sharded unembedding: chip `i` scores its vocabulary shard, then an
-    /// all-gather assembles the logits.
-    fn unembed_sharded(&self, x: &[f32], state: &mut DataflowState) -> Vec<f32> {
-        let c = self.config();
-        let h = c.hidden_size;
-        let chips = GRID * GRID;
-        let shard = c.vocab_size.div_ceil(chips);
-        let mut logits = Vec::with_capacity(c.vocab_size);
-        for chip in 0..chips {
-            let lo = chip * shard;
-            let hi = ((chip + 1) * shard).min(c.vocab_size);
-            for t in lo..hi {
-                logits.push(dot(x, &self.weights.embedding[t * h..(t + 1) * h]));
-            }
-        }
-        state.comm.all_gathers += 1;
-        state.comm.bytes += c.vocab_size as u64 * 4;
-        logits
+        comm.all_chip_all_reduces += 1;
+        comm.bytes += h as u64 * 4;
+        add_assign(y, xo); // second residual
+        x.copy_from_slice(y);
     }
 
     /// Prefill `prompt` then greedily decode `n` tokens.
@@ -496,6 +470,8 @@ impl DataflowExecutor {
     }
 
     /// Generate and return the communication counters alongside the tokens.
+    /// One scratch arena serves the whole sequence, so the loop never
+    /// allocates.
     ///
     /// # Panics
     ///
@@ -508,43 +484,130 @@ impl DataflowExecutor {
     ) -> (Vec<u32>, CommCounters) {
         assert!(!prompt.is_empty(), "prompt must contain at least one token");
         let mut state = self.new_state();
-        let mut logits = Vec::new();
+        let mut scratch = self.new_scratch();
         for &t in prompt {
-            logits = self.step(t, &mut state);
+            self.step_with(t, &mut state, &mut scratch);
         }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            let next = sampler.sample(&logits);
+            let next = sampler.sample(scratch.logits());
             out.push(next);
             if out.len() == n {
                 break;
             }
-            logits = self.step(next, &mut state);
+            self.step_with(next, &mut state, &mut scratch);
         }
         (out, state.comm)
     }
 }
 
-/// `x · W[row_offset .. row_offset + x.len(), col_range]`.
-fn vec_mat_block_offset(
+/// Column projection with partial sums: each of the 4 chips of `col`
+/// multiplies its row slice of `x` against its block of the packed matrix;
+/// the column all-reduce sums the partials.
+#[allow(clippy::too_many_arguments)]
+fn col_project(
     x: &[f32],
-    w: &[f32],
-    cols: usize,
-    row_offset: usize,
-    col_range: std::ops::Range<usize>,
-) -> Vec<f32> {
-    let mut y = vec![0.0f32; col_range.len()];
-    for (i, &xi) in x.iter().enumerate() {
-        if xi == 0.0 {
-            continue;
+    m: &PackedFp4Matrix,
+    col: usize,
+    per_col: usize,
+    row_slice: usize,
+    partial: &mut [f32],
+    acc: &mut [f32],
+    comm: &mut CommCounters,
+) {
+    acc.fill(0.0);
+    let part = &mut partial[..per_col];
+    for r in 0..GRID {
+        matvec_block_into(
+            &x[r * row_slice..(r + 1) * row_slice],
+            m,
+            r * row_slice,
+            col * per_col..(col + 1) * per_col,
+            part,
+        );
+        add_assign(acc, part);
+    }
+    comm.all_reduces += 1;
+    comm.bytes += per_col as u64 * 4;
+}
+
+/// Flash-style column attention: each chip computes running-max statistics
+/// over its quarter of the context into its `flash_acc` block; the column
+/// all-reduce combines them exactly, in chip order.
+#[allow(clippy::too_many_arguments)]
+fn column_attention(
+    q_col: &[f32],
+    layer: usize,
+    col_kv: &[KvCache],
+    q_heads_per_col: usize,
+    group: usize,
+    hd: usize,
+    scores: &mut Vec<f32>,
+    flash_acc: &mut [f32],
+    numer: &mut [f32],
+    out: &mut [f32],
+    comm: &mut CommCounters,
+) {
+    let scale = 1.0 / (hd as f32).sqrt();
+    for head in 0..q_heads_per_col {
+        let kv_head = head / group; // within the column's head block
+        let qv = &q_col[head * hd..(head + 1) * hd];
+        // Per-chip flash partials (running max, exp-sum, value accumulator).
+        let mut ms = [f32::NEG_INFINITY; GRID];
+        let mut sums = [0.0f32; GRID];
+        let mut present = [false; GRID];
+        for (chip, cache) in col_kv.iter().enumerate() {
+            let positions = cache.len();
+            if positions == 0 {
+                continue;
+            }
+            present[chip] = true;
+            let mut m = f32::NEG_INFINITY;
+            scores.clear();
+            for p in 0..positions {
+                let s = dot(qv, cache.key(layer, p, kv_head)) * scale;
+                m = m.max(s);
+                scores.push(s);
+            }
+            let mut sum = 0.0f32;
+            let acc = &mut flash_acc[chip * hd..(chip + 1) * hd];
+            acc.fill(0.0);
+            for (p, &s) in scores.iter().enumerate() {
+                let e = (s - m).exp();
+                sum += e;
+                let v = cache.value(layer, p, kv_head);
+                for (a, &vv) in acc.iter_mut().zip(v.iter()) {
+                    *a += e * vv;
+                }
+            }
+            ms[chip] = m;
+            sums[chip] = sum;
         }
-        let base = (row_offset + i) * cols;
-        let row = &w[base + col_range.start..base + col_range.end];
-        for (yj, &wij) in y.iter_mut().zip(row.iter()) {
-            *yj += xi * wij;
+        // Exact combine across the column group, in chip order (absent
+        // chips hold −∞ max, so they do not move the global max).
+        let gm = ms.iter().fold(f32::NEG_INFINITY, |a, &m| a.max(m));
+        let mut denom = 0.0f32;
+        numer.fill(0.0);
+        for chip in 0..GRID {
+            if !present[chip] {
+                continue;
+            }
+            let w = (ms[chip] - gm).exp();
+            denom += sums[chip] * w;
+            for (n, &a) in numer
+                .iter_mut()
+                .zip(flash_acc[chip * hd..(chip + 1) * hd].iter())
+            {
+                *n += a * w;
+            }
+        }
+        let o = &mut out[head * hd..(head + 1) * hd];
+        for (oo, &n) in o.iter_mut().zip(numer.iter()) {
+            *oo = n / denom;
         }
     }
-    y
+    comm.all_reduces += 1;
+    comm.bytes += (q_heads_per_col * hd) as u64 * 4;
 }
 
 #[cfg(test)]
@@ -589,6 +652,23 @@ mod tests {
                 hnlpu.generate_greedy(prompt, 12),
                 "prompt {prompt:?}"
             );
+        }
+    }
+
+    #[test]
+    fn fresh_and_reused_scratch_agree_bitwise() {
+        let hnlpu = DataflowExecutor::new(weights());
+        let mut dirty = hnlpu.new_scratch();
+        let mut warm = hnlpu.new_state();
+        for t in [40u32, 3, 77] {
+            hnlpu.step_with(t, &mut warm, &mut dirty);
+        }
+        let mut s1 = hnlpu.new_state();
+        let mut s2 = hnlpu.new_state();
+        for t in [1u32, 9, 17] {
+            let fresh = hnlpu.step(t, &mut s1);
+            hnlpu.step_with(t, &mut s2, &mut dirty);
+            assert_eq!(fresh.as_slice(), dirty.logits());
         }
     }
 

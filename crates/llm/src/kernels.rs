@@ -1,0 +1,475 @@
+//! Region-accumulation matvec kernels over packed FP4 weights.
+//!
+//! A Hardwired Neuron never multiplies (Figure 4, §4.2): each input is
+//! routed into one of 16 POPCNT accumulator regions keyed by its FP4 weight
+//! code, the 16 per-region sums are weighted by the E2M1 magnitude lattice,
+//! and a final shift applies the scale. These kernels compute `x · W`
+//! directly on [`PackedFp4Matrix`] codes the same way — no dequantized
+//! tensor ever exists — in two interchangeable realizations:
+//!
+//! * **Scalar region kernel** ([`region_matvec_block_into`]): the textbook
+//!   form. Per output column, bucket `x_i` by the stored 4-bit code, then
+//!   combine buckets with [`MAGNITUDES`] and the per-matrix norm. This is
+//!   the semantic ground truth (and the portable fallback).
+//! * **Vectorized half-unit kernel** (x86-64 AVX2+FMA, selected at
+//!   runtime): the same 16 regions realized as the constant-multiplier
+//!   bank. Every FP4 value is an exact multiple of 0.5, so a 16-entry
+//!   `pshufb` lookup maps each nibble to its signed integer half-unit
+//!   ([`HALF_UNITS`]) — the per-region constant the hardware wires — and an
+//!   FMA accumulates `x_i · hu` with the trailing ×0.5 folded into the
+//!   norm. Associativity of the per-region grouping is the only difference
+//!   (float sums reorder), which is why both realizations agree to ~1e-5
+//!   relative, not bitwise.
+//!
+//! Both inference engines call these kernels for every projection, router,
+//! and expert matvec, so within one process they see one arithmetic: the
+//! engines' token streams stay in lockstep exactly as they did on the dense
+//! `f32` path.
+
+use hnlpu_model::fp4::{HALF_UNITS, MAGNITUDES, NUM_CODES};
+use hnlpu_model::PackedFp4Matrix;
+use std::ops::Range;
+
+/// `out = x · W` over the whole packed matrix (`x.len() == rows`,
+/// `out.len() == cols`).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn matvec_into(x: &[f32], m: &PackedFp4Matrix, out: &mut [f32]) {
+    matvec_block_into(x, m, 0, 0..m.cols(), out);
+}
+
+/// Partial product `out = x · W[row_offset .. row_offset + x.len(),
+/// col_range]`, overwriting `out` — the dataflow executor's workhorse: a
+/// chip holds a block of the packed matrix and produces a partial sum for
+/// its column group.
+///
+/// # Panics
+///
+/// Panics if the addressed block exceeds the matrix shape or
+/// `out.len() != col_range.len()`.
+pub fn matvec_block_into(
+    x: &[f32],
+    m: &PackedFp4Matrix,
+    row_offset: usize,
+    col_range: Range<usize>,
+    out: &mut [f32],
+) {
+    assert!(row_offset + x.len() <= m.rows(), "row block out of bounds");
+    assert!(col_range.end <= m.cols(), "col range out of bounds");
+    assert_eq!(out.len(), col_range.len(), "output length mismatch");
+    // The vectorized path walks packed bytes from the first addressed
+    // column, so it needs the range to start on a byte boundary; odd
+    // starts (never produced by the engines) take the scalar kernel.
+    #[cfg(target_arch = "x86_64")]
+    if col_range.start.is_multiple_of(2) && avx2::available() {
+        // SAFETY: AVX2+FMA presence checked at runtime; bounds above.
+        unsafe { avx2::matvec_block(x, m, row_offset, col_range, out) };
+        return;
+    }
+    region_matvec_block_into(x, m, row_offset, col_range, out);
+}
+
+/// The scalar region-accumulation kernel (semantic reference and portable
+/// fallback): per output column, accumulate each `x_i` into one of 16
+/// buckets indexed by the stored code — one add per weight, no multiply —
+/// then combine the buckets with the magnitude lattice and the norm.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`matvec_block_into`].
+pub fn region_matvec_block_into(
+    x: &[f32],
+    m: &PackedFp4Matrix,
+    row_offset: usize,
+    col_range: Range<usize>,
+    out: &mut [f32],
+) {
+    assert!(row_offset + x.len() <= m.rows(), "row block out of bounds");
+    assert!(col_range.end <= m.cols(), "col range out of bounds");
+    assert_eq!(out.len(), col_range.len(), "output length mismatch");
+    let stride = m.stride();
+    let data = m.data();
+    let norm = m.norm();
+    for (o, j) in out.iter_mut().zip(col_range) {
+        let shift = (j % 2) * 4;
+        let col = j / 2;
+        let mut buckets = [0.0f32; NUM_CODES];
+        for (i, &xi) in x.iter().enumerate() {
+            let byte = data[(row_offset + i) * stride + col];
+            buckets[((byte >> shift) & 0x0F) as usize] += xi;
+        }
+        *o = combine_regions(&buckets) * norm;
+    }
+}
+
+/// The 16 per-region input sums for one output column of `x · W` — what a
+/// Hardwired Neuron's POPCNT accumulator regions hold right before the
+/// magnitude combine. Exposed for tests and analyses: with `x = 1⃗`, region
+/// `k` equals the column's occupancy count of code `k`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != m.rows()` or `col >= m.cols()`.
+pub fn region_sums(x: &[f32], m: &PackedFp4Matrix, col: usize) -> [f32; NUM_CODES] {
+    assert_eq!(x.len(), m.rows(), "input length mismatch");
+    assert!(col < m.cols(), "col out of bounds");
+    let stride = m.stride();
+    let data = m.data();
+    let shift = (col % 2) * 4;
+    let mut buckets = [0.0f32; NUM_CODES];
+    for (i, &xi) in x.iter().enumerate() {
+        let byte = data[i * stride + col / 2];
+        buckets[((byte >> shift) & 0x0F) as usize] += xi;
+    }
+    buckets
+}
+
+/// Magnitude-lattice combine: positive region `k` minus its sign twin
+/// `k | 8`, weighted by `MAGNITUDES[k]`. Region 0 (±0) contributes nothing.
+fn combine_regions(buckets: &[f32; NUM_CODES]) -> f32 {
+    let mut acc = 0.0f32;
+    for k in 1..8 {
+        acc += MAGNITUDES[k] * (buckets[k] - buckets[k | 8]);
+    }
+    acc
+}
+
+/// Which kernel realization this process selected: `"avx2-half-units"` or
+/// `"scalar-regions"`. Recorded by the benchmark baseline.
+pub fn kernel_path() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    if avx2::available() {
+        return "avx2-half-units";
+    }
+    "scalar-regions"
+}
+
+/// The vectorized constant-multiplier-bank realization (x86-64 only).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{Range, HALF_UNITS};
+    use hnlpu_model::PackedFp4Matrix;
+    use std::arch::x86_64::*;
+
+    /// Runtime CPU support check (cached by `std`).
+    #[inline]
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    /// Decode 16 packed bytes (32 columns of one row) into 4×8 `f32`
+    /// half-unit weights, in column order: the `pshufb` against the
+    /// [`HALF_UNITS`] table is the software image of the 16-region decoder.
+    #[inline(always)]
+    unsafe fn decode32(bytes: __m128i, lut: __m128i, mask: __m128i) -> [__m256; 4] {
+        let lo = _mm_and_si128(bytes, mask);
+        let hi = _mm_and_si128(_mm_srli_epi16(bytes, 4), mask);
+        let vlo = _mm_shuffle_epi8(lut, lo);
+        let vhi = _mm_shuffle_epi8(lut, hi);
+        // Interleave even/odd column values back into column order.
+        let ilo = _mm_unpacklo_epi8(vlo, vhi);
+        let ihi = _mm_unpackhi_epi8(vlo, vhi);
+        [
+            _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(ilo)),
+            _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128(ilo, 8))),
+            _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(ihi)),
+            _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128(ihi, 8))),
+        ]
+    }
+
+    /// 64-column panel: eight output accumulators live in registers across
+    /// the whole row sweep, so there are no horizontal sums at all.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn panel64(x: &[f32], data: *const u8, stride: usize, half_norm: f32, out: *mut f32) {
+        let lut = _mm_loadu_si128(HALF_UNITS.as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0F);
+        let mut a = [_mm256_setzero_ps(); 8];
+        for (i, &xi) in x.iter().enumerate() {
+            let xv = _mm256_set1_ps(xi);
+            let rowp = data.add(i * stride);
+            let w0 = decode32(_mm_loadu_si128(rowp as *const __m128i), lut, mask);
+            let w1 = decode32(_mm_loadu_si128(rowp.add(16) as *const __m128i), lut, mask);
+            a[0] = _mm256_fmadd_ps(w0[0], xv, a[0]);
+            a[1] = _mm256_fmadd_ps(w0[1], xv, a[1]);
+            a[2] = _mm256_fmadd_ps(w0[2], xv, a[2]);
+            a[3] = _mm256_fmadd_ps(w0[3], xv, a[3]);
+            a[4] = _mm256_fmadd_ps(w1[0], xv, a[4]);
+            a[5] = _mm256_fmadd_ps(w1[1], xv, a[5]);
+            a[6] = _mm256_fmadd_ps(w1[2], xv, a[6]);
+            a[7] = _mm256_fmadd_ps(w1[3], xv, a[7]);
+        }
+        let nv = _mm256_set1_ps(half_norm);
+        for (k, acc) in a.iter().enumerate() {
+            _mm256_storeu_ps(out.add(8 * k), _mm256_mul_ps(*acc, nv));
+        }
+    }
+
+    /// 32-column panel.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn panel32(x: &[f32], data: *const u8, stride: usize, half_norm: f32, out: *mut f32) {
+        let lut = _mm_loadu_si128(HALF_UNITS.as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0F);
+        let mut a = [_mm256_setzero_ps(); 4];
+        for (i, &xi) in x.iter().enumerate() {
+            let xv = _mm256_set1_ps(xi);
+            let w = decode32(
+                _mm_loadu_si128(data.add(i * stride) as *const __m128i),
+                lut,
+                mask,
+            );
+            a[0] = _mm256_fmadd_ps(w[0], xv, a[0]);
+            a[1] = _mm256_fmadd_ps(w[1], xv, a[1]);
+            a[2] = _mm256_fmadd_ps(w[2], xv, a[2]);
+            a[3] = _mm256_fmadd_ps(w[3], xv, a[3]);
+        }
+        let nv = _mm256_set1_ps(half_norm);
+        for (k, acc) in a.iter().enumerate() {
+            _mm256_storeu_ps(out.add(8 * k), _mm256_mul_ps(*acc, nv));
+        }
+    }
+
+    /// 16-column panel (8-byte row loads).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn panel16(x: &[f32], data: *const u8, stride: usize, half_norm: f32, out: *mut f32) {
+        let lut = _mm_loadu_si128(HALF_UNITS.as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0F);
+        let mut a = [_mm256_setzero_ps(); 2];
+        for (i, &xi) in x.iter().enumerate() {
+            let xv = _mm256_set1_ps(xi);
+            let bytes = _mm_loadl_epi64(data.add(i * stride) as *const __m128i);
+            let lo = _mm_and_si128(bytes, mask);
+            let hi = _mm_and_si128(_mm_srli_epi16(bytes, 4), mask);
+            let inter = _mm_unpacklo_epi8(_mm_shuffle_epi8(lut, lo), _mm_shuffle_epi8(lut, hi));
+            let w0 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(inter));
+            let w1 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128(inter, 8)));
+            a[0] = _mm256_fmadd_ps(w0, xv, a[0]);
+            a[1] = _mm256_fmadd_ps(w1, xv, a[1]);
+        }
+        let nv = _mm256_set1_ps(half_norm);
+        _mm256_storeu_ps(out, _mm256_mul_ps(a[0], nv));
+        _mm256_storeu_ps(out.add(8), _mm256_mul_ps(a[1], nv));
+    }
+
+    /// Block matvec over packed codes. Caller guarantees bounds and an
+    /// even `col_range.start`.
+    pub unsafe fn matvec_block(
+        x: &[f32],
+        m: &PackedFp4Matrix,
+        row_offset: usize,
+        col_range: Range<usize>,
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(col_range.start % 2, 0);
+        let stride = m.stride();
+        let half_norm = 0.5 * m.norm();
+        let base = m
+            .data()
+            .as_ptr()
+            .add(row_offset * stride + col_range.start / 2);
+        let total = col_range.len();
+        let mut c = 0;
+        while total - c >= 64 {
+            panel64(
+                x,
+                base.add(c / 2),
+                stride,
+                half_norm,
+                out.as_mut_ptr().add(c),
+            );
+            c += 64;
+        }
+        if total - c >= 32 {
+            panel32(
+                x,
+                base.add(c / 2),
+                stride,
+                half_norm,
+                out.as_mut_ptr().add(c),
+            );
+            c += 32;
+        }
+        if total - c >= 16 {
+            panel16(
+                x,
+                base.add(c / 2),
+                stride,
+                half_norm,
+                out.as_mut_ptr().add(c),
+            );
+            c += 16;
+        }
+        // Scalar half-unit tail for the last < 16 columns.
+        let data = m.data();
+        for j in col_range.start + c..col_range.end {
+            let shift = (j % 2) * 4;
+            let mut acc = 0.0f32;
+            for (i, &xi) in x.iter().enumerate() {
+                let byte = data[(row_offset + i) * stride + j / 2];
+                acc += xi * f32::from(HALF_UNITS[((byte >> shift) & 0x0F) as usize]);
+            }
+            out[j - col_range.start] = acc * half_norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::{add_assign, vec_mat};
+    use hnlpu_model::Fp4;
+    use proptest::prelude::*;
+
+    fn packed_from(codes: &[u8], rows: usize, cols: usize) -> PackedFp4Matrix {
+        let codes: Vec<Fp4> = codes.iter().map(|&c| Fp4::from_code(c)).collect();
+        let norm = 1.0 / (rows as f32).sqrt() / 1.8;
+        PackedFp4Matrix::from_codes(&codes, rows, cols, norm)
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs()),
+                "element {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_identity() {
+        // Codes picked so the packed matrix dequantizes to (1/norm-scaled)
+        // diagonal: code 2 = +1.0.
+        let mut codes = vec![0u8; 9];
+        for i in 0..3 {
+            codes[i * 3 + i] = 2;
+        }
+        let m = packed_from(&codes, 3, 3);
+        let mut out = [0.0f32; 3];
+        matvec_into(&[2.0, 3.0, 4.0], &m, &mut out);
+        let expect: Vec<f32> = [2.0f32, 3.0, 4.0].iter().map(|v| v * m.norm()).collect();
+        assert_close(&out, &expect, 1e-6);
+    }
+
+    #[test]
+    fn region_kernel_and_fast_path_agree() {
+        let codes: Vec<u8> = (0..96 * 80).map(|i| ((i * 7 + 3) % 16) as u8).collect();
+        let m = packed_from(&codes, 96, 80);
+        let x: Vec<f32> = (0..96)
+            .map(|i| ((i * 31) % 17) as f32 * 0.1 - 0.8)
+            .collect();
+        let mut fast = vec![0.0f32; 80];
+        let mut regions = vec![0.0f32; 80];
+        matvec_into(&x, &m, &mut fast);
+        region_matvec_block_into(&x, &m, 0, 0..80, &mut regions);
+        assert_close(&fast, &regions, 1e-5);
+    }
+
+    #[test]
+    fn block_partials_sum_to_full() {
+        let codes: Vec<u8> = (0..64 * 48).map(|i| ((i * 11 + 5) % 16) as u8).collect();
+        let m = packed_from(&codes, 64, 48);
+        let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut full = vec![0.0f32; 48];
+        matvec_into(&x, &m, &mut full);
+        // Four row blocks × col range [16, 48), as a chip column computes.
+        let mut acc = vec![0.0f32; 32];
+        let mut part = vec![0.0f32; 32];
+        for r in 0..4 {
+            matvec_block_into(&x[r * 16..(r + 1) * 16], &m, r * 16, 16..48, &mut part);
+            add_assign(&mut acc, &part);
+        }
+        assert_close(&acc, &full[16..48], 1e-5);
+    }
+
+    #[test]
+    fn region_sums_with_unit_input_count_occupancy() {
+        // With x = 1⃗ the region sums ARE the per-column code occupancy, so
+        // summing them over columns reproduces `code_histogram` exactly.
+        let codes: Vec<u8> = (0..40 * 33).map(|i| ((i * 13 + 1) % 16) as u8).collect();
+        let m = packed_from(&codes, 40, 33);
+        let ones = vec![1.0f32; 40];
+        let mut totals = [0u64; 16];
+        for col in 0..33 {
+            let sums = region_sums(&ones, &m, col);
+            for (t, s) in totals.iter_mut().zip(sums.iter()) {
+                assert_eq!(s.fract(), 0.0);
+                *t += *s as u64;
+            }
+        }
+        assert_eq!(totals, m.code_histogram());
+    }
+
+    #[test]
+    fn kernel_path_names_a_realization() {
+        assert!(["avx2-half-units", "scalar-regions"].contains(&kernel_path()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row block out of bounds")]
+    fn oversized_row_block_rejected() {
+        let m = packed_from(&[0; 16], 4, 4);
+        let mut out = [0.0; 4];
+        matvec_block_into(&[1.0; 3], &m, 2, 0..4, &mut out);
+    }
+
+    proptest! {
+        /// The region-accumulation kernel matches the naive dense f32
+        /// `vec_mat` within 1e-4 relative tolerance on random matrices —
+        /// the satellite acceptance property. Covers both realizations
+        /// plus odd widths and the scalar column tail.
+        #[test]
+        fn matvec_matches_naive_vec_mat(
+            rows in 1usize..96,
+            cols in 1usize..80,
+            seed in 0u64..1000,
+        ) {
+            let codes: Vec<u8> = (0..rows * cols)
+                .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(seed * 97)) % 16) as u8)
+                .collect();
+            let m = packed_from(&codes, rows, cols);
+            let x: Vec<f32> = (0..rows)
+                .map(|i| {
+                    let v = (i as u64).wrapping_mul(seed.wrapping_add(11)) % 2000;
+                    v as f32 * 0.001 - 1.0
+                })
+                .collect();
+            let dense = m.to_f32();
+            let naive = vec_mat(&x, &dense, cols);
+            let mut fast = vec![0.0f32; cols];
+            matvec_into(&x, &m, &mut fast);
+            let mut regions = vec![0.0f32; cols];
+            region_matvec_block_into(&x, &m, 0, 0..cols, &mut regions);
+            for j in 0..cols {
+                prop_assert!((fast[j] - naive[j]).abs() <= 1e-4 * (1.0 + naive[j].abs()),
+                    "fast col {j}: {} vs {}", fast[j], naive[j]);
+                prop_assert!((regions[j] - naive[j]).abs() <= 1e-4 * (1.0 + naive[j].abs()),
+                    "regions col {j}: {} vs {}", regions[j], naive[j]);
+            }
+        }
+
+        /// Arbitrary sub-blocks match the dense `vec_mat_block` partials.
+        #[test]
+        fn block_matches_naive_block(
+            rows in 8usize..64,
+            cols in 8usize..64,
+            fr in 0usize..4,
+            fc in 0usize..4,
+        ) {
+            let codes: Vec<u8> = (0..rows * cols).map(|i| ((i * 5 + 2) % 16) as u8).collect();
+            let m = packed_from(&codes, rows, cols);
+            let x: Vec<f32> = (0..rows).map(|i| (i as f32 * 0.13).cos()).collect();
+            let r0 = fr * rows / 8;
+            let r1 = rows - fr * rows / 8;
+            let c0 = fc * cols / 8;
+            let c1 = cols - fc * cols / 8;
+            let dense = m.to_f32();
+            let naive = crate::tensor::vec_mat_block(&x, &dense, cols, r0..r1, c0..c1);
+            let mut out = vec![0.0f32; c1 - c0];
+            matvec_block_into(&x[r0..r1], &m, r0, c0..c1, &mut out);
+            for j in 0..out.len() {
+                prop_assert!((out[j] - naive[j]).abs() <= 1e-4 * (1.0 + naive[j].abs()));
+            }
+        }
+    }
+}

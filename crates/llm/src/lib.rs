@@ -6,8 +6,14 @@
 //! partitioning/dataflow of §5 and Appendix A computes the same function as
 //! a straightforward single-device transformer:
 //!
-//! * [`tensor`] — minimal row-major matrix/vector kernels.
+//! * [`kernels`] — region-accumulation matvec kernels computing directly
+//!   on packed FP4 codes (Figure 4's 16 POPCNT regions in software); both
+//!   engines route every projection through them.
+//! * [`tensor`] — minimal dense row-major matrix/vector kernels (the naive
+//!   baseline path, LoRA, and dot products).
 //! * [`ops`] — RMSNorm, softmax, SwiGLU, rotary embedding, top-k.
+//! * [`scratch`] — the per-sequence [`Scratch`] arena + rotary table that
+//!   make the steady-state decode step allocation-free.
 //! * [`kv_cache`] — per-layer KV storage.
 //! * [`sampler`] — greedy and seeded-multinomial logit sampling.
 //! * [`mod@reference`] — the single-device decoder (GQA + MoE, pre-norm).
@@ -16,6 +22,8 @@
 //! * [`batch`] — the batched engine: a KV-slot pool with continuous-
 //!   batching admission/eviction executing `hnlpu-sim`'s round plans,
 //!   parallel across sequences (feature `parallel`, on by default).
+//! * [`naive`] — the pre-optimization dense-`f32`, allocating decoder kept
+//!   as the benchmark baseline and semantic cross-check.
 //!
 //! # Example
 //!
@@ -37,11 +45,14 @@
 #![warn(missing_docs)]
 pub mod batch;
 pub mod dataflow;
+pub mod kernels;
 pub mod kv_cache;
 pub mod lora;
+pub mod naive;
 pub mod ops;
 pub mod reference;
 pub mod sampler;
+pub mod scratch;
 pub mod tensor;
 pub mod tokenizer;
 
@@ -49,6 +60,8 @@ pub use batch::{BatchRunReport, BatchedDataflowExecutor, SequenceRequest};
 pub use dataflow::{CommCounters, DataflowExecutor};
 pub use kv_cache::KvCache;
 pub use lora::LoraAdapter;
+pub use naive::NaiveTransformer;
 pub use reference::Transformer;
 pub use sampler::Sampler;
+pub use scratch::Scratch;
 pub use tokenizer::AsciiTokenizer;

@@ -76,6 +76,24 @@ impl LoraAdapter {
         out
     }
 
+    /// Allocation-free [`delta`](Self::delta): write `scale · (x·A)·B`
+    /// into `out`, using `hidden` as the reusable rank-`r` intermediate
+    /// (resized on demand; steady state allocates nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    pub fn delta_into(&self, x: &[f32], hidden: &mut Vec<f32>, out: &mut [f32]) {
+        assert_eq!(x.len(), self.rows, "input dimension");
+        assert_eq!(out.len(), self.cols, "output dimension");
+        hidden.resize(self.rank, 0.0);
+        crate::tensor::vec_mat_into(x, &self.a, self.rank, hidden);
+        crate::tensor::vec_mat_into(hidden, &self.b, self.cols, out);
+        for v in out.iter_mut() {
+            *v *= self.scale;
+        }
+    }
+
     /// Adapted projection: `x·W + delta(x)` given the hardwired output.
     pub fn apply(&self, hardwired: &[f32], x: &[f32]) -> Vec<f32> {
         let mut out = hardwired.to_vec();
@@ -151,6 +169,16 @@ mod tests {
     #[should_panic(expected = "invalid rank")]
     fn oversized_rank_rejected() {
         LoraAdapter::zeros(4, 4, 5, 1.0);
+    }
+
+    #[test]
+    fn delta_into_matches_delta() {
+        let adapter = LoraAdapter::seeded(24, 12, 3, 1.5, 7);
+        let x: Vec<f32> = (0..24).map(|i| (i as f32 * 0.3).cos()).collect();
+        let mut hidden = Vec::new();
+        let mut out = vec![0.0f32; 12];
+        adapter.delta_into(&x, &mut hidden, &mut out);
+        assert_eq!(out, adapter.delta(&x));
     }
 
     #[test]

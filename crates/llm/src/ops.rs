@@ -4,21 +4,46 @@
 /// Root-mean-square normalization (no learned scale in this reproduction;
 /// synthetic weights make a learned gain redundant).
 pub fn rmsnorm(x: &[f32]) -> Vec<f32> {
+    let mut out = x.to_vec();
+    rmsnorm_into(x, &mut out);
+    out
+}
+
+/// Allocation-free [`rmsnorm`]: normalize `x` into `out`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn rmsnorm_into(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "length mismatch");
     let eps = 1e-5f32;
     let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
     let inv = 1.0 / (ms + eps).sqrt();
-    x.iter().map(|v| v * inv).collect()
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = v * inv;
+    }
 }
 
 /// Numerically-stable softmax.
 pub fn softmax(x: &[f32]) -> Vec<f32> {
+    let mut out = x.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// Allocation-free [`softmax`]: replace `x` with its softmax.
+pub fn softmax_in_place(x: &mut [f32]) {
     if x.is_empty() {
-        return Vec::new();
+        return;
     }
     let m = x.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-    let exps: Vec<f32> = x.iter().map(|&v| (v - m).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    for v in x.iter_mut() {
+        *v = (*v - m).exp();
+    }
+    let sum: f32 = x.iter().sum();
+    for v in x.iter_mut() {
+        *v /= sum;
+    }
 }
 
 /// SiLU (swish) activation.
@@ -32,11 +57,21 @@ pub fn silu(x: f32) -> f32 {
 ///
 /// Panics if lengths differ.
 pub fn swiglu(gate: &[f32], up: &[f32]) -> Vec<f32> {
+    let mut out = gate.to_vec();
+    swiglu_in_place(&mut out, up);
+    out
+}
+
+/// Allocation-free [`swiglu`]: overwrite `gate` with `silu(gate) ⊙ up`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn swiglu_in_place(gate: &mut [f32], up: &[f32]) {
     assert_eq!(gate.len(), up.len(), "length mismatch");
-    gate.iter()
-        .zip(up.iter())
-        .map(|(&g, &u)| silu(g) * u)
-        .collect()
+    for (g, &u) in gate.iter_mut().zip(up.iter()) {
+        *g = silu(*g) * u;
+    }
 }
 
 /// Apply rotary position embedding in place to a head vector of even
@@ -60,15 +95,35 @@ pub fn rope(head: &mut [f32], position: usize) {
 /// Indices of the `k` largest values, in descending value order with
 /// deterministic (lowest-index) tie-breaking — hardware comparator trees
 /// are deterministic, so the reference must be too.
+///
+/// Uses O(n) partial selection (`select_nth_unstable_by`) plus an O(k log k)
+/// sort of the survivors instead of sorting all `n` candidates; the
+/// index-then-value comparator is a total order, so the selected set and
+/// its order are identical to a full sort.
 pub fn topk(x: &[f32], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..x.len()).collect();
-    idx.sort_by(|&a, &b| {
+    let mut idx = Vec::new();
+    topk_into(x, k, &mut idx);
+    idx
+}
+
+/// Allocation-free [`topk`]: fill `idx` with the winners, reusing its
+/// storage (the router calls this every layer of every step).
+pub fn topk_into(x: &[f32], k: usize, idx: &mut Vec<usize>) {
+    idx.clear();
+    if k == 0 {
+        return;
+    }
+    idx.extend(0..x.len());
+    let cmp = |&a: &usize, &b: &usize| {
         x[b].partial_cmp(&x[a])
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
-    });
-    idx.truncate(k);
-    idx
+    };
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(cmp);
 }
 
 #[cfg(test)]
@@ -126,6 +181,35 @@ mod tests {
     fn empty_inputs() {
         assert!(softmax(&[]).is_empty());
         assert!(topk(&[], 3).is_empty());
+        assert!(topk(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn in_place_variants_match_allocating_ones() {
+        let x = [0.3f32, -1.2, 4.0, 0.0, 2.5];
+        let mut n = [0.0f32; 5];
+        rmsnorm_into(&x, &mut n);
+        assert_eq!(n.to_vec(), rmsnorm(&x));
+        let mut s = x;
+        softmax_in_place(&mut s);
+        assert_eq!(s.to_vec(), softmax(&x));
+        let up = [1.0f32, -2.0, 0.5, 3.0, 1.5];
+        let mut g = x;
+        swiglu_in_place(&mut g, &up);
+        assert_eq!(g.to_vec(), swiglu(&x, &up));
+    }
+
+    /// The pre-optimization `topk`: a full sort of all candidate indices.
+    /// Kept as the oracle the partial-selection rewrite is checked against.
+    fn topk_full_sort(x: &[f32], k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..x.len()).collect();
+        idx.sort_by(|&a, &b| {
+            x[b].partial_cmp(&x[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
     }
 
     proptest! {
@@ -145,6 +229,18 @@ mod tests {
             sorted.sort_unstable();
             sorted.dedup();
             prop_assert_eq!(sorted.len(), k);
+        }
+
+        /// Partial selection must be indistinguishable from the old full
+        /// sort, including order and tie-breaks. Values are drawn from a
+        /// tiny lattice so duplicates (ties) are common.
+        #[test]
+        fn topk_matches_full_sort_oracle(
+            xs in prop::collection::vec(-3i32..3, 1..96),
+            k in 0usize..12,
+        ) {
+            let xs: Vec<f32> = xs.into_iter().map(|v| v as f32 * 0.5).collect();
+            prop_assert_eq!(topk(&xs, k), topk_full_sort(&xs, k));
         }
     }
 }

@@ -1,11 +1,19 @@
 //! The single-device reference transformer (pre-norm GQA + MoE + SwiGLU),
 //! the functional ground truth the HNLPU dataflow is verified against.
+//!
+//! The hot path is allocation-free: all projections run the
+//! region-accumulation kernels ([`crate::kernels`]) directly on packed FP4
+//! weights, and every intermediate lives in a caller-provided [`Scratch`]
+//! arena ([`step_with`](Transformer::step_with)). The allocating entry
+//! points ([`step`](Transformer::step) etc.) remain as thin wrappers.
 
+use crate::kernels::matvec_into;
 use crate::kv_cache::KvCache;
 use crate::lora::LoraAdapter;
-use crate::ops::{rmsnorm, rope, softmax, swiglu, topk};
+use crate::ops::{rmsnorm_into, softmax, softmax_in_place, swiglu_in_place, topk_into};
 use crate::sampler::{argmax, Sampler};
-use crate::tensor::{add_assign, dot, vec_mat};
+use crate::scratch::Scratch;
+use crate::tensor::{add_assign, dot};
 use hnlpu_model::{ModelWeights, TransformerConfig};
 
 /// The reference decoder.
@@ -51,6 +59,12 @@ impl Transformer {
         KvCache::new(c.num_layers, c.attention.num_kv_heads, c.attention.head_dim)
     }
 
+    /// A scratch arena sized for this model (reusable across steps and
+    /// sequences).
+    pub fn new_scratch(&self) -> Scratch {
+        Scratch::new(self.config())
+    }
+
     /// Embedding lookup for `token`.
     ///
     /// # Panics
@@ -66,19 +80,47 @@ impl Transformer {
     /// Run one decode step: consume `token` at the cache's current position,
     /// append its KV, and return the next-token logits.
     pub fn step(&self, token: u32, cache: &mut KvCache) -> Vec<f32> {
-        self.unembed(&self.hidden_step(token, cache))
+        let mut scratch = self.new_scratch();
+        self.step_with(token, cache, &mut scratch);
+        scratch.logits
+    }
+
+    /// Allocation-free [`step`](Self::step): the logits land in
+    /// `scratch.logits()`.
+    pub fn step_with(&self, token: u32, cache: &mut KvCache, scratch: &mut Scratch) {
+        self.hidden_step_with(token, cache, scratch);
+        let c = self.config();
+        let h = c.hidden_size;
+        // Unembedding (weight-tied): logits over the vocabulary.
+        let Scratch { xn, logits, .. } = scratch;
+        for (t, l) in logits.iter_mut().enumerate() {
+            *l = dot(xn, &self.weights.embedding[t * h..(t + 1) * h]);
+        }
     }
 
     /// As [`step`](Self::step), but return the final normalized hidden
     /// state instead of logits (the representation text-embedding uses).
     pub fn hidden_step(&self, token: u32, cache: &mut KvCache) -> Vec<f32> {
+        let mut scratch = self.new_scratch();
+        self.hidden_step_with(token, cache, &mut scratch);
+        scratch.xn
+    }
+
+    /// Allocation-free [`hidden_step`](Self::hidden_step): the normalized
+    /// hidden state lands in `scratch.hidden()`.
+    pub fn hidden_step_with(&self, token: u32, cache: &mut KvCache, scratch: &mut Scratch) {
         let c = *self.config();
+        assert!((token as usize) < c.vocab_size, "token out of vocabulary");
+        let h = c.hidden_size;
         let position = cache.len();
-        let mut x = self.embed(token);
+        scratch
+            .x
+            .copy_from_slice(&self.weights.embedding[token as usize * h..(token as usize + 1) * h]);
         for layer in 0..c.num_layers {
-            x = self.block(&x, layer, position, cache);
+            self.block_with(layer, position, cache, scratch);
         }
-        rmsnorm(&x)
+        let Scratch { x, xn, .. } = scratch;
+        rmsnorm_into(x, xn);
     }
 
     /// Sequence scoring (§8 future work 3): total log-probability the model
@@ -90,12 +132,13 @@ impl Transformer {
     pub fn score_sequence(&self, tokens: &[u32]) -> f64 {
         assert!(tokens.len() >= 2, "need at least two tokens to score");
         let mut cache = self.new_cache();
+        let mut scratch = self.new_scratch();
         let mut total = 0.0f64;
-        let mut logits = self.step(tokens[0], &mut cache);
+        self.step_with(tokens[0], &mut cache, &mut scratch);
         for &next in &tokens[1..] {
-            let probs = softmax(&logits);
+            let probs = softmax(scratch.logits());
             total += (probs[next as usize].max(f32::MIN_POSITIVE) as f64).ln();
-            logits = self.step(next, &mut cache);
+            self.step_with(next, &mut cache, &mut scratch);
         }
         total
     }
@@ -109,10 +152,11 @@ impl Transformer {
     pub fn text_embedding(&self, tokens: &[u32]) -> Vec<f32> {
         assert!(!tokens.is_empty(), "need at least one token to embed");
         let mut cache = self.new_cache();
+        let mut scratch = self.new_scratch();
         let mut pooled = vec![0.0f32; self.config().hidden_size];
         for &t in tokens {
-            let h = self.hidden_step(t, &mut cache);
-            add_assign(&mut pooled, &h);
+            self.hidden_step_with(t, &mut cache, &mut scratch);
+            add_assign(&mut pooled, scratch.hidden());
         }
         let inv = 1.0 / tokens.len() as f32;
         for v in &mut pooled {
@@ -121,8 +165,15 @@ impl Transformer {
         pooled
     }
 
-    /// One transformer block.
-    fn block(&self, x: &[f32], layer: usize, position: usize, cache: &mut KvCache) -> Vec<f32> {
+    /// One transformer block: reads the residual from `scratch.x`, writes
+    /// the updated residual back into it.
+    fn block_with(
+        &self,
+        layer: usize,
+        position: usize,
+        cache: &mut KvCache,
+        scratch: &mut Scratch,
+    ) {
         let c = *self.config();
         let w = &self.weights.layers[layer];
         let (hd, qh, kvh) = (
@@ -131,63 +182,86 @@ impl Transformer {
             c.attention.num_kv_heads,
         );
         let group = c.attention.group_size();
+        let Scratch {
+            x,
+            xn,
+            xo,
+            y,
+            q,
+            k,
+            v,
+            attn,
+            scores,
+            router_logits,
+            chosen,
+            expert_w,
+            up,
+            gate,
+            down,
+            delta,
+            lora_hidden,
+            rope,
+            ..
+        } = scratch;
 
         // --- Attention ---
-        let xn = rmsnorm(x);
-        let mut q = vec_mat(&xn, &w.wq, c.attention.q_width());
+        rmsnorm_into(x, xn);
+        matvec_into(xn, &w.wq, q);
         if let Some(adapter) = &self.q_adapters[layer] {
-            q = adapter.apply(&q, &xn);
+            adapter.delta_into(xn, lora_hidden, delta);
+            add_assign(q, delta);
         }
-        let mut k = vec_mat(&xn, &w.wk, c.attention.kv_width());
-        let v = vec_mat(&xn, &w.wv, c.attention.kv_width());
+        matvec_into(xn, &w.wk, k);
+        matvec_into(xn, &w.wv, v);
+        rope.prepare(position);
         for head in 0..qh {
-            rope(&mut q[head * hd..(head + 1) * hd], position);
+            rope.apply(&mut q[head * hd..(head + 1) * hd]);
         }
         for head in 0..kvh {
-            rope(&mut k[head * hd..(head + 1) * hd], position);
+            rope.apply(&mut k[head * hd..(head + 1) * hd]);
         }
-        cache.append(layer, &k, &v);
+        cache.append(layer, k, v);
         let ctx = cache.len();
         let scale = 1.0 / (hd as f32).sqrt();
 
-        let mut attn_out = vec![0.0f32; qh * hd];
+        attn.fill(0.0);
         for head in 0..qh {
             let kv_head = head / group;
             let qh_vec = &q[head * hd..(head + 1) * hd];
-            let scores: Vec<f32> = (0..ctx)
-                .map(|p| dot(qh_vec, cache.key(layer, p, kv_head)) * scale)
-                .collect();
-            let probs = softmax(&scores);
-            let out = &mut attn_out[head * hd..(head + 1) * hd];
-            for (p, &pr) in probs.iter().enumerate() {
+            scores.clear();
+            scores.extend((0..ctx).map(|p| dot(qh_vec, cache.key(layer, p, kv_head)) * scale));
+            softmax_in_place(scores);
+            let out = &mut attn[head * hd..(head + 1) * hd];
+            for (p, &pr) in scores.iter().enumerate() {
                 let val = cache.value(layer, p, kv_head);
                 for (o, &vv) in out.iter_mut().zip(val.iter()) {
                     *o += pr * vv;
                 }
             }
         }
-        let mut xo = vec_mat(&attn_out, &w.wo, c.hidden_size);
-        add_assign(&mut xo, x); // first residual
+        matvec_into(attn, &w.wo, xo);
+        add_assign(xo, x); // first residual
 
         // --- MoE FFN ---
-        let xn = rmsnorm(&xo);
-        let router_logits = vec_mat(&xn, &w.router, c.moe.num_experts);
-        let chosen = topk(&router_logits, c.moe.experts_per_token);
-        let chosen_logits: Vec<f32> = chosen.iter().map(|&e| router_logits[e]).collect();
-        let expert_weights = softmax(&chosen_logits);
+        rmsnorm_into(xo, xn);
+        matvec_into(xn, &w.router, router_logits);
+        topk_into(router_logits, c.moe.experts_per_token, chosen);
+        expert_w.clear();
+        expert_w.extend(chosen.iter().map(|&e| router_logits[e]));
+        softmax_in_place(expert_w);
 
-        let mut y = vec![0.0f32; c.hidden_size];
-        for (&expert, &ew) in chosen.iter().zip(expert_weights.iter()) {
-            let up = vec_mat(&xn, &w.up[expert], c.moe.intermediate_size);
-            let gate = vec_mat(&xn, &w.gate[expert], c.moe.intermediate_size);
-            let act = swiglu(&gate, &up);
-            let down = vec_mat(&act, &w.down[expert], c.hidden_size);
+        y.fill(0.0);
+        for (&expert, &ew) in chosen.iter().zip(expert_w.iter()) {
+            matvec_into(xn, &w.up[expert], up);
+            matvec_into(xn, &w.gate[expert], gate);
+            swiglu_in_place(gate, up);
+            matvec_into(gate, &w.down[expert], down);
             for (yo, &d) in y.iter_mut().zip(down.iter()) {
                 *yo += ew * d;
             }
         }
-        add_assign(&mut y, &xo); // second residual
-        y
+        add_assign(y, xo); // second residual
+        x.copy_from_slice(y);
     }
 
     /// Unembedding (weight-tied): logits over the vocabulary.
@@ -208,7 +282,8 @@ impl Transformer {
         self.generate(prompt, n, &mut Sampler::Greedy)
     }
 
-    /// Prefill `prompt` then decode `n` tokens with `sampler`.
+    /// Prefill `prompt` then decode `n` tokens with `sampler`. One scratch
+    /// arena serves the whole sequence, so the loop never allocates.
     ///
     /// # Panics
     ///
@@ -216,18 +291,18 @@ impl Transformer {
     pub fn generate(&self, prompt: &[u32], n: usize, sampler: &mut Sampler) -> Vec<u32> {
         assert!(!prompt.is_empty(), "prompt must contain at least one token");
         let mut cache = self.new_cache();
-        let mut logits = Vec::new();
+        let mut scratch = self.new_scratch();
         for &t in prompt {
-            logits = self.step(t, &mut cache);
+            self.step_with(t, &mut cache, &mut scratch);
         }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            let next = sampler.sample(&logits);
+            let next = sampler.sample(scratch.logits());
             out.push(next);
             if out.len() == n {
                 break;
             }
-            logits = self.step(next, &mut cache);
+            self.step_with(next, &mut cache, &mut scratch);
         }
         out
     }
@@ -260,6 +335,25 @@ mod tests {
         assert_eq!(logits.len(), m.config().vocab_size);
         assert_eq!(cache.len(), 1);
         assert!(logits.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn fresh_and_reused_scratch_agree_bitwise() {
+        // The arena must be a pure workspace: a scratch dirtied by other
+        // sequences produces the same logits as a fresh one.
+        let m = model();
+        let mut dirty = m.new_scratch();
+        let mut warm_cache = m.new_cache();
+        for t in [9u32, 2, 5] {
+            m.step_with(t, &mut warm_cache, &mut dirty);
+        }
+        let mut c1 = m.new_cache();
+        let mut c2 = m.new_cache();
+        for t in [1u32, 2, 3] {
+            let fresh = m.step(t, &mut c1);
+            m.step_with(t, &mut c2, &mut dirty);
+            assert_eq!(fresh.as_slice(), dirty.logits());
+        }
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Reusable per-sequence scratch memory for the decode hot path.
+//!
+//! The paper's machine has no heap: every intermediate of Figure 10 lives
+//! in a fixed on-chip buffer. [`Scratch`] is the software analogue — one
+//! arena per resident sequence holding every intermediate a decode step
+//! needs, sized once from the [`TransformerConfig`] so the steady-state
+//! forward pass performs no allocation at all. Both engines
+//! ([`crate::reference::Transformer`] and
+//! [`crate::dataflow::DataflowExecutor`]) thread the same arena type, and
+//! the batched engine gives each KV slot its own.
+
+use hnlpu_model::TransformerConfig;
+
+/// Precomputed rotary-embedding table for one sequence.
+///
+/// The seed path recomputed `10000^(2i/d)` with `powf` for every head of
+/// every layer of every step. The frequencies depend only on the head
+/// dimension, so they are computed once; per step the `d/2` sin/cos pairs
+/// for the current position are computed once and shared by all heads. The
+/// angles are produced by the *same* `position / 10000^(2i/d)` expression
+/// as [`crate::ops::rope`], so rotation stays bit-identical to the seed
+/// formula.
+#[derive(Debug, Clone)]
+pub struct RopeTable {
+    /// `10000^(2i/d)` for `i in 0..d/2`.
+    freq: Vec<f32>,
+    sin: Vec<f32>,
+    cos: Vec<f32>,
+    /// Position the sin/cos rows currently hold.
+    position: Option<usize>,
+}
+
+impl RopeTable {
+    /// A table for head dimension `head_dim` (must be even).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is odd.
+    pub fn new(head_dim: usize) -> Self {
+        assert!(head_dim.is_multiple_of(2), "rope needs an even head dim");
+        let half = head_dim / 2;
+        RopeTable {
+            freq: (0..half)
+                .map(|i| 10_000f32.powf(2.0 * i as f32 / head_dim as f32))
+                .collect(),
+            sin: vec![0.0; half],
+            cos: vec![0.0; half],
+            position: None,
+        }
+    }
+
+    /// Fill the sin/cos rows for `position` (no-op when already there).
+    pub fn prepare(&mut self, position: usize) {
+        if self.position == Some(position) {
+            return;
+        }
+        for i in 0..self.freq.len() {
+            let theta = position as f32 / self.freq[i];
+            let (s, c) = theta.sin_cos();
+            self.sin[i] = s;
+            self.cos[i] = c;
+        }
+        self.position = Some(position);
+    }
+
+    /// Rotate one head vector in place using the prepared position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` does not match the table's head dimension or
+    /// [`prepare`](Self::prepare) was never called.
+    pub fn apply(&self, head: &mut [f32]) {
+        assert_eq!(head.len(), 2 * self.freq.len(), "head dimension");
+        assert!(self.position.is_some(), "prepare() before apply()");
+        for i in 0..self.freq.len() {
+            let (sin, cos) = (self.sin[i], self.cos[i]);
+            let (a, b) = (head[2 * i], head[2 * i + 1]);
+            head[2 * i] = a * cos - b * sin;
+            head[2 * i + 1] = a * sin + b * cos;
+        }
+    }
+}
+
+/// Per-sequence scratch arena: every decode-step intermediate, allocated
+/// once. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    /// Residual stream (hidden).
+    pub(crate) x: Vec<f32>,
+    /// Normalized residual (hidden).
+    pub(crate) xn: Vec<f32>,
+    /// Post-attention residual (hidden).
+    pub(crate) xo: Vec<f32>,
+    /// MoE output accumulator (hidden).
+    pub(crate) y: Vec<f32>,
+    /// Query projection (q_width).
+    pub(crate) q: Vec<f32>,
+    /// Key projection (kv_width).
+    pub(crate) k: Vec<f32>,
+    /// Value projection (kv_width).
+    pub(crate) v: Vec<f32>,
+    /// Attention output heads (q_width).
+    pub(crate) attn: Vec<f32>,
+    /// One chip's partial sum (max column/row slice width).
+    pub(crate) partial: Vec<f32>,
+    /// Attention scores over the context (grows with the sequence).
+    pub(crate) scores: Vec<f32>,
+    /// Flash-attention per-chip value accumulators (GRID × head_dim).
+    pub(crate) flash_acc: Vec<f32>,
+    /// Flash-attention combine numerator (head_dim).
+    pub(crate) numer: Vec<f32>,
+    /// Router logits (num_experts).
+    pub(crate) router_logits: Vec<f32>,
+    /// Top-k expert indices (experts_per_token).
+    pub(crate) chosen: Vec<usize>,
+    /// Softmaxed expert weights (experts_per_token).
+    pub(crate) expert_w: Vec<f32>,
+    /// Expert up projection (intermediate).
+    pub(crate) up: Vec<f32>,
+    /// Expert gate projection, overwritten by the SwiGLU (intermediate).
+    pub(crate) gate: Vec<f32>,
+    /// Expert down projection (hidden).
+    pub(crate) down: Vec<f32>,
+    /// LoRA side-channel delta (q_width).
+    pub(crate) delta: Vec<f32>,
+    /// LoRA rank-r intermediate (resized to the adapter's rank on use).
+    pub(crate) lora_hidden: Vec<f32>,
+    /// Shared rotary table.
+    pub(crate) rope: RopeTable,
+    /// Next-token logits of the most recent step (vocab_size).
+    pub(crate) logits: Vec<f32>,
+}
+
+impl Scratch {
+    /// An arena sized for one sequence of `config`'s architecture.
+    pub fn new(config: &TransformerConfig) -> Self {
+        let h = config.hidden_size;
+        let qw = config.attention.q_width();
+        let kvw = config.attention.kv_width();
+        let hd = config.attention.head_dim;
+        let grid = crate::dataflow::GRID;
+        // Widest per-chip slice either engine hands to `partial`.
+        let slice = (qw / grid).max(kvw / grid).max(h / grid).max(1);
+        Scratch {
+            x: vec![0.0; h],
+            xn: vec![0.0; h],
+            xo: vec![0.0; h],
+            y: vec![0.0; h],
+            q: vec![0.0; qw],
+            k: vec![0.0; kvw],
+            v: vec![0.0; kvw],
+            attn: vec![0.0; qw],
+            partial: vec![0.0; slice],
+            scores: Vec::new(),
+            flash_acc: vec![0.0; grid * hd],
+            numer: vec![0.0; hd],
+            router_logits: vec![0.0; config.moe.num_experts],
+            chosen: Vec::with_capacity(config.moe.experts_per_token),
+            expert_w: Vec::with_capacity(config.moe.experts_per_token),
+            up: vec![0.0; config.moe.intermediate_size],
+            gate: vec![0.0; config.moe.intermediate_size],
+            down: vec![0.0; h],
+            delta: vec![0.0; qw],
+            lora_hidden: Vec::new(),
+            rope: RopeTable::new(hd),
+            logits: vec![0.0; config.vocab_size],
+        }
+    }
+
+    /// Next-token logits produced by the most recent step.
+    pub fn logits(&self) -> &[f32] {
+        &self.logits
+    }
+
+    /// Final normalized hidden state of the most recent step.
+    pub fn hidden(&self) -> &[f32] {
+        &self.xn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::rope;
+    use hnlpu_model::zoo;
+
+    #[test]
+    fn rope_table_matches_seed_formula_bitwise() {
+        let mut table = RopeTable::new(16);
+        for position in [0usize, 1, 7, 100, 4096] {
+            table.prepare(position);
+            let mut a: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).sin()).collect();
+            let mut b = a.clone();
+            table.apply(&mut a);
+            rope(&mut b, position);
+            assert_eq!(a, b, "position {position}");
+        }
+    }
+
+    #[test]
+    fn prepare_is_idempotent() {
+        let mut t = RopeTable::new(8);
+        t.prepare(5);
+        let sin = t.sin.clone();
+        t.prepare(5);
+        assert_eq!(t.sin, sin);
+        t.prepare(6);
+        assert_ne!(t.sin, sin);
+    }
+
+    #[test]
+    #[should_panic(expected = "even head dim")]
+    fn odd_head_dim_rejected() {
+        RopeTable::new(7);
+    }
+
+    #[test]
+    fn scratch_sizes_follow_config() {
+        let c = zoo::dataflow_test_model().config;
+        let s = Scratch::new(&c);
+        assert_eq!(s.x.len(), c.hidden_size);
+        assert_eq!(s.q.len(), c.attention.q_width());
+        assert_eq!(s.logits.len(), c.vocab_size);
+        assert_eq!(s.router_logits.len(), c.moe.num_experts);
+    }
+}

@@ -20,6 +20,27 @@ pub fn vec_mat(x: &[f32], w: &[f32], cols: usize) -> Vec<f32> {
     y
 }
 
+/// Allocation-free [`vec_mat`]: overwrite `y` with `x · W`. Same zero-skip
+/// accumulation order, so results are bit-identical.
+///
+/// # Panics
+///
+/// Panics if `x.len() * cols != w.len()` or `y.len() != cols`.
+pub fn vec_mat_into(x: &[f32], w: &[f32], cols: usize, y: &mut [f32]) {
+    assert_eq!(x.len() * cols, w.len(), "shape mismatch");
+    assert_eq!(y.len(), cols, "output length mismatch");
+    y.fill(0.0);
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let row = &w[i * cols..(i + 1) * cols];
+        for (yj, &wij) in y.iter_mut().zip(row.iter()) {
+            *yj += xi * wij;
+        }
+    }
+}
+
 /// `y = x · W[row_range, col_range]` — a partial product over a sub-block
 /// of `W`, as a chip computes it (the dataflow executor's workhorse).
 ///
@@ -115,6 +136,15 @@ mod tests {
         let mut a = [2.0f32, 4.0];
         scale(&mut a, 0.5);
         assert_eq!(a, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn vec_mat_into_matches_vec_mat() {
+        let x = [0.5f32, 0.0, -2.0];
+        let w: Vec<f32> = (0..3 * 4).map(|i| (i as f32).cos()).collect();
+        let mut y = [9.0f32; 4];
+        vec_mat_into(&x, &w, 4, &mut y);
+        assert_eq!(y.to_vec(), vec_mat(&x, &w, 4));
     }
 
     #[test]

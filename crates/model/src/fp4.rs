@@ -32,7 +32,19 @@ pub const MX_BLOCK: usize = 32;
 pub struct Fp4(u8);
 
 /// The eight representable magnitudes of E2M1, indexed by `code & 0b0111`.
-const MAGNITUDES: [f32; 8] = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0];
+///
+/// This lattice is the combine stage of region accumulation: a kernel (or a
+/// Hardwired Neuron) sums the inputs routed to each of the 16 code regions
+/// and then weights the per-region sums by these magnitudes.
+pub const MAGNITUDES: [f32; 8] = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0];
+
+/// Signed half-unit value of every code: `HALF_UNITS[code] == 2 * value`.
+///
+/// All 16 FP4 values are exact multiples of 0.5, so this table is the
+/// integer constant-multiplier bank a Hardwired Neuron wires per region; a
+/// software kernel multiplies by it and folds the trailing ×0.5 into the
+/// per-matrix norm.
+pub const HALF_UNITS: [i8; 16] = [0, 1, 2, 3, 4, 6, 8, 12, 0, -1, -2, -3, -4, -6, -8, -12];
 
 impl Fp4 {
     /// Positive zero.
@@ -209,6 +221,14 @@ mod tests {
             let hu = c.as_half_units();
             assert!((-12..=12).contains(&hu));
             assert!((hu as f32 * 0.5 - c.to_f32()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn half_unit_table_matches_values() {
+        for c in Fp4::all_codes() {
+            assert_eq!(i32::from(HALF_UNITS[c.code() as usize]), c.as_half_units());
+            assert_eq!(f32::from(HALF_UNITS[c.code() as usize]) * 0.5, c.to_f32());
         }
     }
 

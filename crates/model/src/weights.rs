@@ -11,6 +11,7 @@
 
 use crate::config::{TransformerConfig, WeightKind, WeightMatrix};
 use crate::fp4::{Fp4, NUM_CODES};
+use crate::packed::PackedFp4Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rand_distr_normal::sample_standard_normal;
@@ -96,11 +97,24 @@ impl WeightGenerator {
     /// Generate one matrix dequantized to `f32` and rescaled to a typical
     /// trained-weight magnitude (`1/sqrt(rows)`), for functional inference.
     pub fn matrix_f32(&self, layer: usize, m: &WeightMatrix) -> Vec<f32> {
-        let norm = 1.0 / (m.rows as f32).sqrt() / 1.8;
+        let norm = Self::norm_for(m);
         self.matrix(layer, m)
             .into_iter()
             .map(|c| c.to_f32() * norm)
             .collect()
+    }
+
+    /// Generate one matrix in the resident nibble-packed format, carrying
+    /// the same `1/sqrt(rows)` norm [`matrix_f32`](Self::matrix_f32) would
+    /// have applied — `packed.to_f32()` equals `matrix_f32` exactly.
+    pub fn packed_matrix(&self, layer: usize, m: &WeightMatrix) -> PackedFp4Matrix {
+        PackedFp4Matrix::from_codes(&self.matrix(layer, m), m.rows, m.cols, Self::norm_for(m))
+    }
+
+    /// The dequantization scale for `m`: `1/sqrt(rows)` over the 1.8
+    /// generator stretch.
+    fn norm_for(m: &WeightMatrix) -> f32 {
+        1.0 / (m.rows as f32).sqrt() / 1.8
     }
 
     /// Histogram of the 16 FP4 codes in one matrix, without retaining the
@@ -124,25 +138,46 @@ impl WeightGenerator {
     }
 }
 
-/// All weights of one transformer layer, dequantized for functional use.
+/// All weights of one transformer layer, resident in the nibble-packed FP4
+/// format the region-accumulation kernels consume. Nothing is dequantized
+/// at materialization: a decode step touches only the bytes of the tensors
+/// it uses (top-4 routing reads 4 of `num_experts` expert blocks).
 #[derive(Debug, Clone)]
 pub struct LayerWeights {
-    /// `Wq` (`hidden × q_width`), row-major.
-    pub wq: Vec<f32>,
+    /// `Wq` (`hidden × q_width`), row-major packed.
+    pub wq: PackedFp4Matrix,
     /// `Wk` (`hidden × kv_width`).
-    pub wk: Vec<f32>,
+    pub wk: PackedFp4Matrix,
     /// `Wv` (`hidden × kv_width`).
-    pub wv: Vec<f32>,
+    pub wv: PackedFp4Matrix,
     /// `Wo` (`q_width × hidden`).
-    pub wo: Vec<f32>,
+    pub wo: PackedFp4Matrix,
     /// Router (`hidden × num_experts`).
-    pub router: Vec<f32>,
+    pub router: PackedFp4Matrix,
     /// Per-expert up projections (`hidden × intermediate`).
-    pub up: Vec<Vec<f32>>,
+    pub up: Vec<PackedFp4Matrix>,
     /// Per-expert gate projections (`hidden × intermediate`).
-    pub gate: Vec<Vec<f32>>,
+    pub gate: Vec<PackedFp4Matrix>,
     /// Per-expert down projections (`intermediate × hidden`).
-    pub down: Vec<Vec<f32>>,
+    pub down: Vec<PackedFp4Matrix>,
+}
+
+impl LayerWeights {
+    /// Resident bytes of this layer's packed tensors.
+    pub fn resident_bytes(&self) -> u64 {
+        let experts: u64 = self
+            .up
+            .iter()
+            .chain(&self.gate)
+            .chain(&self.down)
+            .map(|m| m.bytes() as u64)
+            .sum();
+        [&self.wq, &self.wk, &self.wv, &self.wo, &self.router]
+            .iter()
+            .map(|m| m.bytes() as u64)
+            .sum::<u64>()
+            + experts
+    }
 }
 
 /// A fully materialized (necessarily small) model for functional tests.
@@ -178,14 +213,14 @@ impl ModelWeights {
                 let i = cfg.moe.intermediate_size;
                 let e = cfg.moe.num_experts;
                 LayerWeights {
-                    wq: gen.matrix_f32(l, &WeightMatrix::new(WeightKind::Query, h, q)),
-                    wk: gen.matrix_f32(l, &WeightMatrix::new(WeightKind::Key, h, kv)),
-                    wv: gen.matrix_f32(l, &WeightMatrix::new(WeightKind::Value, h, kv)),
-                    wo: gen.matrix_f32(l, &WeightMatrix::new(WeightKind::Output, q, h)),
-                    router: gen.matrix_f32(l, &WeightMatrix::new(WeightKind::Router, h, e)),
+                    wq: gen.packed_matrix(l, &WeightMatrix::new(WeightKind::Query, h, q)),
+                    wk: gen.packed_matrix(l, &WeightMatrix::new(WeightKind::Key, h, kv)),
+                    wv: gen.packed_matrix(l, &WeightMatrix::new(WeightKind::Value, h, kv)),
+                    wo: gen.packed_matrix(l, &WeightMatrix::new(WeightKind::Output, q, h)),
+                    router: gen.packed_matrix(l, &WeightMatrix::new(WeightKind::Router, h, e)),
                     up: (0..e)
                         .map(|x| {
-                            gen.matrix_f32(
+                            gen.packed_matrix(
                                 l,
                                 &WeightMatrix::expert(WeightKind::ExpertUp { expert: x }, h, i),
                             )
@@ -193,7 +228,7 @@ impl ModelWeights {
                         .collect(),
                     gate: (0..e)
                         .map(|x| {
-                            gen.matrix_f32(
+                            gen.packed_matrix(
                                 l,
                                 &WeightMatrix::expert(WeightKind::ExpertGate { expert: x }, h, i),
                             )
@@ -201,7 +236,7 @@ impl ModelWeights {
                         .collect(),
                     down: (0..e)
                         .map(|x| {
-                            gen.matrix_f32(
+                            gen.packed_matrix(
                                 l,
                                 &WeightMatrix::expert(WeightKind::ExpertDown { expert: x }, i, h),
                             )
@@ -215,6 +250,40 @@ impl ModelWeights {
             embedding: gen.embedding(cfg),
             layers,
         }
+    }
+
+    /// Bytes actually resident for the weights: packed FP4 layer tensors
+    /// plus the `f32` embedding table (which stays dense — it is an indexed
+    /// lookup, not a matvec operand, and the paper keeps embeddings in
+    /// conventional memory rather than metal).
+    pub fn resident_weight_bytes(&self) -> u64 {
+        let layers: u64 = self.layers.iter().map(LayerWeights::resident_bytes).sum();
+        layers + (self.embedding.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Bytes the same weights would occupy fully dequantized to `f32`, as
+    /// they were before the packed representation existed — the baseline of
+    /// the ≥4× residency claim.
+    pub fn dense_f32_weight_bytes(&self) -> u64 {
+        let f = std::mem::size_of::<f32>() as u64;
+        let layers: u64 = self
+            .layers
+            .iter()
+            .map(|l| {
+                let experts: u64 =
+                    l.up.iter()
+                        .chain(&l.gate)
+                        .chain(&l.down)
+                        .map(|m| (m.rows() * m.cols()) as u64)
+                        .sum();
+                let attn: u64 = [&l.wq, &l.wk, &l.wv, &l.wo, &l.router]
+                    .iter()
+                    .map(|m| (m.rows() * m.cols()) as u64)
+                    .sum();
+                (attn + experts) * f
+            })
+            .sum();
+        layers + self.embedding.len() as u64 * f
     }
 }
 
@@ -283,8 +352,41 @@ mod tests {
         assert_eq!(w.layers.len(), cfg.num_layers);
         assert_eq!(w.embedding.len(), cfg.vocab_size * cfg.hidden_size);
         let l = &w.layers[0];
-        assert_eq!(l.wq.len(), cfg.hidden_size * cfg.attention.q_width());
+        assert_eq!(l.wq.rows(), cfg.hidden_size);
+        assert_eq!(l.wq.cols(), cfg.attention.q_width());
         assert_eq!(l.up.len(), cfg.moe.num_experts);
+    }
+
+    #[test]
+    fn packed_matrix_dequantizes_to_matrix_f32() {
+        let g = WeightGenerator::new(5);
+        let m = WeightMatrix::new(WeightKind::Output, 96, 48);
+        assert_eq!(g.packed_matrix(2, &m).to_f32(), g.matrix_f32(2, &m));
+    }
+
+    #[test]
+    fn packed_histogram_matches_generator_histogram() {
+        let g = WeightGenerator::new(9);
+        let m = WeightMatrix::new(WeightKind::Value, 64, 33);
+        assert_eq!(
+            g.packed_matrix(1, &m).code_histogram(),
+            g.code_histogram(1, &m)
+        );
+    }
+
+    #[test]
+    fn resident_bytes_drop_at_least_four_fold() {
+        // The PR's residency claim: packed FP4 tensors (embedding stays f32
+        // on both sides) shrink a materialized model ≥ 4× vs dense f32.
+        let cfg = crate::zoo::dataflow_test_model().config;
+        let w = ModelWeights::materialize(&cfg, &WeightGenerator::new(2026));
+        let packed = w.resident_weight_bytes();
+        let dense = w.dense_f32_weight_bytes();
+        assert!(
+            packed * 4 <= dense,
+            "packed {packed} B vs dense {dense} B: only {:.2}x",
+            dense as f64 / packed as f64
+        );
     }
 
     #[test]

@@ -5,6 +5,13 @@
 //! statistical analysis, HTML reports, or CLI parsing — just enough to
 //! keep `[[bench]]` targets with `harness = false` building and
 //! producing useful numbers offline.
+//!
+//! Beyond printing, every completed benchmark is recorded on the
+//! [`Criterion`] instance: [`Criterion::results`] returns the
+//! `(label, mean ns/iter)` pairs and [`Criterion::summary_json`] renders
+//! them as a minimal JSON object, which is how `hnlpu-bench` emits its
+//! committed machine-readable baselines (upstream criterion writes
+//! `estimates.json` files; this shim exposes the equivalent directly).
 
 use std::fmt::{self, Display};
 use std::hint::black_box as std_black_box;
@@ -78,15 +85,31 @@ fn report(label: &str, mean_ns: f64) {
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
+    /// `(label, mean ns/iter)` of every completed benchmark, in run order.
+    results: Vec<(String, f64)>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            results: Vec::new(),
+        }
     }
 }
 
 impl Criterion {
+    /// Set the default per-benchmark sample count (groups may override).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn record(&mut self, label: &str, mean_ns: f64) {
+        report(label, mean_ns);
+        self.results.push((label.to_string(), mean_ns));
+    }
+
     /// Benchmark a single closure.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
@@ -94,27 +117,59 @@ impl Criterion {
             mean_ns: 0.0,
         };
         f(&mut b);
-        report(name, b.mean_ns);
+        self.record(name, b.mean_ns);
         self
     }
 
-    /// Open a named group of related benchmarks.
-    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+    /// Open a named group of related benchmarks. Results land on this
+    /// `Criterion` when the group runs them.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.sample_size,
+            criterion: self,
         }
+    }
+
+    /// `(label, mean ns/iter)` of every benchmark run so far, in order.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    /// The collected results as a minimal JSON object
+    /// (`{"label": mean_ns, ...}`), insertion-ordered.
+    pub fn summary_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (label, ns)) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            for ch in label.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push_str("\":");
+            out.push_str(&format!("{ns:.1}"));
+        }
+        out.push('}');
+        out
     }
 }
 
-/// A named group of benchmarks.
+/// A named group of benchmarks, recording onto its parent [`Criterion`].
 #[derive(Debug)]
-pub struct BenchmarkGroup {
+pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    criterion: &'a mut Criterion,
 }
 
-impl BenchmarkGroup {
+impl BenchmarkGroup<'_> {
     /// Set the per-benchmark sample count.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
@@ -133,7 +188,8 @@ impl BenchmarkGroup {
             mean_ns: 0.0,
         };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id), b.mean_ns);
+        self.criterion
+            .record(&format!("{}/{}", self.name, id), b.mean_ns);
         self
     }
 
@@ -148,7 +204,8 @@ impl BenchmarkGroup {
             mean_ns: 0.0,
         };
         f(&mut b);
-        report(&format!("{}/{}", self.name, id), b.mean_ns);
+        self.criterion
+            .record(&format!("{}/{}", self.name, id), b.mean_ns);
         self
     }
 
@@ -175,4 +232,36 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_recorded_and_summarized() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        c.bench_function("alpha", |b| b.iter(|| black_box(1 + 1)));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_function("beta", |b| b.iter(|| black_box(2 + 2)));
+            g.finish();
+        }
+        let labels: Vec<&str> = c.results().iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["alpha", "grp/beta"]);
+        assert!(c.results().iter().all(|&(_, ns)| ns >= 0.0));
+        let json = c.summary_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"alpha\":"));
+        assert!(json.contains("\"grp/beta\":"));
+    }
+
+    #[test]
+    fn summary_json_escapes_labels() {
+        let mut c = Criterion::default();
+        c.results.push(("a\"b\\c".to_string(), 1.0));
+        assert_eq!(c.summary_json(), "{\"a\\\"b\\\\c\":1.0}");
+    }
 }
