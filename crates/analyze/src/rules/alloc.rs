@@ -1,0 +1,148 @@
+//! Rule `hot-path-alloc`: the decode hot path must not allocate.
+//!
+//! PR 2 made the steady-state forward pass allocation-free (`Scratch`
+//! arena, packed weights); this rule keeps it that way. Scope: every
+//! function body of the configured hot modules (minus fns annotated
+//! `// analyze: cold`, which are init-time constructors), plus any fn
+//! annotated `// analyze: hot` anywhere in the workspace. Inside a hot
+//! span, any call pattern that can touch the allocator is a violation.
+
+use super::{in_path_set, FileInput, Violation};
+use crate::config::Config;
+use crate::lexer::Annotation;
+
+/// Allocating call patterns. Substring-matched against sanitized code, so
+/// string literals and comments can never trip them. `vec!`/`format!`
+/// cover the macro forms; the method patterns include the `(` so that
+/// e.g. a field named `clone` does not match.
+const PATTERNS: &[(&str, &str)] = &[
+    ("Vec::new(", "Vec::new"),
+    ("Vec::with_capacity(", "with_capacity"),
+    ("with_capacity(", "with_capacity"),
+    ("vec!", "vec!"),
+    (".to_vec(", "to_vec"),
+    (".clone(", "clone"),
+    (".collect(", "collect"),
+    (".to_string(", "to_string"),
+    (".to_owned(", "to_owned"),
+    ("String::new(", "String::new"),
+    ("String::from(", "String::from"),
+    ("Box::new(", "Box::new"),
+    ("format!", "format!"),
+];
+
+/// Check one file. See the module docs for scoping.
+pub fn check(file: &FileInput, cfg: &Config) -> Vec<Violation> {
+    let whole_module_hot = in_path_set(&file.rel_path, &cfg.hot_modules);
+    let mut out = Vec::new();
+    for f in &file.model.fns {
+        let hot = match f.annotation {
+            Some(Annotation::Hot) => true,
+            Some(Annotation::Cold) => false,
+            None => whole_module_hot,
+        };
+        if !hot || file.model.in_test(f.decl_line) {
+            continue;
+        }
+        for line in f.body_start..=f.body_end {
+            let Some(text) = file.model.code.get(line - 1) else {
+                continue;
+            };
+            let mut seen: Option<&str> = None;
+            for &(needle, id) in PATTERNS {
+                if text.contains(needle) && seen != Some(id) {
+                    seen = Some(id);
+                    out.push(Violation {
+                        rule: "hot-path-alloc",
+                        pattern: id.to_string(),
+                        path: file.rel_path.clone(),
+                        line,
+                        message: format!(
+                            "allocating call `{id}` in hot fn `{}` — the decode hot path \
+                             must stay allocation-free (reuse the Scratch arena)",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_with_hot(module: &str) -> Config {
+        Config {
+            hot_modules: vec![module.to_string()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn annotated_hot_fn_flags_allocations() {
+        let src = "\
+// analyze: hot
+fn step(out: &mut Vec<f32>) {
+    let t = vec![0.0f32; 8];
+    let u = t.clone();
+    out.copy_from_slice(&u);
+}
+";
+        let v = check(
+            &FileInput::new("crates/x/src/lib.rs", src),
+            &Config::default(),
+        );
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].pattern, "vec!");
+        assert_eq!(v[1].pattern, "clone");
+    }
+
+    #[test]
+    fn cold_fn_in_hot_module_is_exempt() {
+        let src = "\
+// analyze: cold
+pub fn new() -> Vec<f32> {
+    vec![0.0; 4]
+}
+
+pub fn step(x: &mut [f32]) {
+    x.fill(0.0);
+}
+";
+        let cfg = cfg_with_hot("crates/x/src/lib.rs");
+        assert!(check(&FileInput::new("crates/x/src/lib.rs", src), &cfg).is_empty());
+    }
+
+    #[test]
+    fn hot_module_fn_without_annotation_is_checked() {
+        let src = "pub fn step() -> Vec<u8> {\n    Vec::new()\n}\n";
+        let cfg = cfg_with_hot("crates/x/src/lib.rs");
+        let v = check(&FileInput::new("crates/x/src/lib.rs", src), &cfg);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].pattern, "Vec::new");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn test_code_and_strings_are_exempt() {
+        let src = "\
+pub fn msg() -> &'static str {
+    \"call .clone() and vec![] freely\"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v = vec![1, 2].clone();
+        assert_eq!(v.len(), 2);
+    }
+}
+";
+        let cfg = cfg_with_hot("crates/x/src/lib.rs");
+        assert!(check(&FileInput::new("crates/x/src/lib.rs", src), &cfg).is_empty());
+    }
+}

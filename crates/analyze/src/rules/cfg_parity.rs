@@ -1,0 +1,154 @@
+//! Rule `cfg-parity`: every `feature = "…"` name used in a crate's
+//! sources is declared in that crate's `Cargo.toml`.
+//!
+//! A typoed feature name (`#[cfg(feature = "paralel")]`) compiles clean
+//! and silently dead-codes the guarded path — the exact failure mode that
+//! would quietly drop the rayon fan-out while the serial twin keeps the
+//! differential harness green. Declared `[features]` keys and `optional`
+//! dependency names (their implicit features) are both accepted.
+
+use super::{FileInput, Violation};
+
+/// Feature names declared by a `Cargo.toml`: `[features]` keys plus
+/// `optional = true` dependency names.
+pub fn declared_features(cargo_toml: &str) -> Vec<String> {
+    let mut features = Vec::new();
+    let mut section = String::new();
+    for raw in cargo_toml.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let declares_feature = section == "features"
+            || (section.ends_with("dependencies") && value.contains("optional"));
+        if declares_feature {
+            features.push(key.trim().trim_matches('"').to_string());
+        }
+    }
+    features
+}
+
+/// Check one file's `feature = "…"` uses against `features`.
+///
+/// Detection runs on the sanitized view (so a doc-comment example never
+/// counts), but the feature name itself is a string literal — blanked by
+/// the sanitizer — so it is read back from the raw line.
+pub fn check(file: &FileInput, features: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, text) in file.model.code.iter().enumerate() {
+        let line = idx + 1;
+        if !text.contains("feature") {
+            continue;
+        }
+        let Some(raw) = file.model.raw.get(idx) else {
+            continue;
+        };
+        for name in feature_uses(raw) {
+            if !features.iter().any(|f| f == &name) {
+                out.push(Violation {
+                    rule: "cfg-parity",
+                    pattern: name.clone(),
+                    path: file.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "feature `{name}` is not declared in this crate's Cargo.toml — \
+                         a typoed feature name silently dead-codes the guarded path"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Feature names referenced on a raw line: every `feature = "name"`.
+fn feature_uses(text: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut start = 0usize;
+    while let Some(pos) = text[start..].find("feature") {
+        let at = start + pos;
+        start = at + "feature".len();
+        let rest = &text[start..];
+        let rest_trim = rest.trim_start();
+        let Some(rest_eq) = rest_trim.strip_prefix('=') else {
+            continue;
+        };
+        let rest_eq = rest_eq.trim_start();
+        let Some(quoted) = rest_eq.strip_prefix('"') else {
+            continue;
+        };
+        if let Some(end) = quoted.find('"') {
+            let name = quoted[..end].trim();
+            if !name.is_empty() {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceModel;
+
+    const MANIFEST: &str = "\
+[package]
+name = \"demo\"
+
+[features]
+default = [\"parallel\"]
+parallel = [\"dep:rayon\"]
+
+[dependencies]
+rayon = { workspace = true, optional = true }
+serde = { workspace = true }
+";
+
+    fn raw_file(path: &str, source: &str) -> FileInput {
+        FileInput {
+            rel_path: path.to_string(),
+            model: SourceModel::parse(source),
+        }
+    }
+
+    #[test]
+    fn declared_features_include_optional_deps() {
+        let f = declared_features(MANIFEST);
+        assert!(f.contains(&"default".to_string()));
+        assert!(f.contains(&"parallel".to_string()));
+        assert!(f.contains(&"rayon".to_string()));
+        assert!(!f.contains(&"serde".to_string()));
+    }
+
+    #[test]
+    fn known_feature_passes() {
+        let src = "#[cfg(feature = \"parallel\")]\nfn fan_out() {}\n";
+        let file = raw_file("crates/demo/src/lib.rs", src);
+        assert!(check(&file, &declared_features(MANIFEST)).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_examples_ignored() {
+        let src = "/// Use `#[cfg(feature = \"made-up\")]` to gate it.\nfn documented() {}\n";
+        let file = raw_file("crates/demo/src/lib.rs", src);
+        assert!(check(&file, &declared_features(MANIFEST)).is_empty());
+    }
+
+    #[test]
+    fn typoed_feature_flagged() {
+        let src = "#[cfg(feature = \"paralel\")]\nfn fan_out() {}\n#[cfg(not(feature = \"simd\"))]\nfn scalar() {}\n";
+        let file = raw_file("crates/demo/src/lib.rs", src);
+        let v = check(&file, &declared_features(MANIFEST));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].pattern, "paralel");
+        assert_eq!(v[1].pattern, "simd");
+    }
+}

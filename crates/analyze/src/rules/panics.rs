@@ -1,0 +1,189 @@
+//! Rule `panic-policy`: library code on fallible paths returns typed
+//! errors instead of aborting the process.
+//!
+//! A serving process that `.unwrap()`s a malformed request dies along
+//! with its 215 co-resident sequences. Non-test library code may not use
+//! `.unwrap()` / `.expect()` / `panic!` / `todo!` / `unimplemented!`
+//! unless the site is allowlisted with a reason (`assert!` preconditions
+//! documented under `# Panics` remain the sanctioned mechanism for
+//! programmer-error contracts).
+//!
+//! Slice indexing (`x[i]`, `&x[a..b]`) is the same abort dressed as
+//! syntax, but it is also the idiom of every kernel inner loop whose
+//! shape was asserted at entry. The `index` sub-check therefore audits
+//! only the configured `index_paths` — files whose indices derive from
+//! *external* input (scheduler plans, imported configs) — which are kept
+//! index-free; hot kernels document their shape contracts instead.
+
+use super::{in_path_set, FileInput, Violation};
+use crate::config::Config;
+
+/// Aborting call patterns (checked in every library file).
+const PANICS: &[(&str, &str)] = &[
+    (".unwrap(", "unwrap"),
+    (".expect(", "expect"),
+    ("panic!", "panic!"),
+    ("todo!", "todo!"),
+    ("unimplemented!", "unimplemented!"),
+];
+
+/// Check one file.
+pub fn check(file: &FileInput, cfg: &Config) -> Vec<Violation> {
+    let index_audited = in_path_set(&file.rel_path, &cfg.index_paths);
+    let mut out = Vec::new();
+    for (idx, text) in file.model.code.iter().enumerate() {
+        let line = idx + 1;
+        if file.model.in_test(line) {
+            continue;
+        }
+        for &(needle, id) in PANICS {
+            if text.contains(needle) {
+                out.push(Violation {
+                    rule: "panic-policy",
+                    pattern: id.to_string(),
+                    path: file.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "`{id}` in library code — return a typed error on fallible \
+                         paths, or allowlist with a reason if genuinely infallible"
+                    ),
+                });
+            }
+        }
+        if index_audited && has_slice_index(text) {
+            out.push(Violation {
+                rule: "panic-policy",
+                pattern: "index".to_string(),
+                path: file.rel_path.clone(),
+                line,
+                message: "slice indexing in an index-audited path — indices here derive \
+                          from external input, so use `get`/`get_mut` and return a typed \
+                          error"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Does this sanitized line contain an indexing expression — a `[` whose
+/// preceding non-space character ends a value expression (identifier,
+/// `)`, or `]`)? Attribute lines are skipped; array *types* (`[f32; 4]`),
+/// array literals, and `vec![…]` all fail the preceding-character test.
+fn has_slice_index(text: &str) -> bool {
+    let t = text.trim_start();
+    if t.starts_with("#[") || t.starts_with("#![") {
+        return false;
+    }
+    let bytes = text.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && bytes[j - 1] == b' ' {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let prev = bytes[j - 1];
+        if prev == b')' || prev == b']' {
+            return true;
+        }
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            // A keyword before `[` introduces an array type or literal
+            // (`&mut [f32]`, `return [a, b]`), not an indexing expression.
+            let mut k = j;
+            while k > 0 && (bytes[k - 1].is_ascii_alphanumeric() || bytes[k - 1] == b'_') {
+                k -= 1;
+            }
+            const KEYWORDS: &[&str] = &[
+                "mut", "dyn", "in", "as", "return", "if", "else", "match", "impl", "ref", "const",
+                "static", "break", "where",
+            ];
+            if let Some(word) = text.get(k..j) {
+                if !KEYWORDS.contains(&word) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            index_paths: vec!["crates/llm/src/batch.rs".to_string()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn unwrap_expect_panic_flagged() {
+        let src = "\
+fn f(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect(\"two\");
+    if *first == 0 {
+        panic!(\"zero\");
+    }
+    first + second
+}
+";
+        let v = check(&FileInput::new("crates/x/src/lib.rs", src), &cfg());
+        let pats: Vec<&str> = v.iter().map(|v| v.pattern.as_str()).collect();
+        assert_eq!(pats, vec!["unwrap", "expect", "panic!"]);
+    }
+
+    #[test]
+    fn typed_errors_and_test_code_pass() {
+        let src = "\
+fn f(v: &[u32]) -> Result<u32, String> {
+    v.first().copied().ok_or_else(|| \"empty\".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert_eq!(super::f(&[1]).unwrap(), 1);
+    }
+}
+";
+        assert!(check(&FileInput::new("crates/x/src/lib.rs", src), &cfg()).is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_only_in_audited_paths() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 {\n    v[i]\n}\n";
+        let audited = check(&FileInput::new("crates/llm/src/batch.rs", src), &cfg());
+        assert_eq!(audited.len(), 1);
+        assert_eq!(audited[0].pattern, "index");
+        assert!(check(&FileInput::new("crates/llm/src/kernels.rs", src), &cfg()).is_empty());
+    }
+
+    #[test]
+    fn array_types_and_literals_are_not_indexing() {
+        let src = "\
+fn f(out: &mut [f32]) -> [f32; 4] {
+    let a: [f32; 4] = [0.0; 4];
+    let v = vec![1u8];
+    out.fill(0.0);
+    let _ = v;
+    a
+}
+";
+        assert!(check(&FileInput::new("crates/llm/src/batch.rs", src), &cfg()).is_empty());
+    }
+
+    #[test]
+    fn get_based_access_passes_audit() {
+        let src = "fn f(v: &[u32], i: usize) -> Option<u32> {\n    v.get(i).copied()\n}\n";
+        assert!(check(&FileInput::new("crates/llm/src/batch.rs", src), &cfg()).is_empty());
+    }
+}

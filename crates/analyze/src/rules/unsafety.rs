@@ -1,0 +1,121 @@
+//! Rule `unsafe-audit`: every `unsafe` block or fn carries a `// SAFETY:`
+//! comment in the run immediately above it.
+//!
+//! The AVX2 half-unit kernels are the only unsafe code in the workspace;
+//! this rule makes sure each block states the contract it relies on
+//! (runtime feature detection, caller-guaranteed bounds) where the next
+//! reader will see it. Doc comments, attributes, and blank lines are
+//! transparent when walking upward; the first real code line ends the
+//! search.
+
+use super::{ident_occurrences, FileInput, Violation};
+
+/// Check one file.
+pub fn check(file: &FileInput) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, text) in file.model.code.iter().enumerate() {
+        let line = idx + 1;
+        if file.model.in_test(line) {
+            continue;
+        }
+        if ident_occurrences(text, "unsafe").is_empty() {
+            continue;
+        }
+        if !has_safety_comment(file, line) {
+            out.push(Violation {
+                rule: "unsafe-audit",
+                pattern: "unsafe".to_string(),
+                path: file.rel_path.clone(),
+                line,
+                message: "`unsafe` without a `// SAFETY:` comment immediately above — \
+                          state the contract this code relies on"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Walk upward from the line above `line`, through comments, attributes,
+/// and blanks; true if any comment in that run contains `SAFETY:`.
+fn has_safety_comment(file: &FileInput, line: usize) -> bool {
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if let Some(c) = file.model.comment_on(l) {
+            if c.text.contains("SAFETY:") {
+                return true;
+            }
+            continue;
+        }
+        let Some(text) = file.model.code.get(l - 1) else {
+            return false;
+        };
+        let t = text.trim();
+        if t.is_empty() || t.starts_with("#[") || t.starts_with("#![") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undocumented_unsafe_block_flagged() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let v = check(&FileInput::new("crates/x/src/lib.rs", src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_block_and_fn() {
+        let src = "\
+fn f(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid.
+    unsafe { *p }
+}
+
+/// Docs.
+// SAFETY: requires AVX2, guaranteed by the dispatch.
+#[target_feature(enable = \"avx2\")]
+unsafe fn g() {}
+";
+        assert!(check(&FileInput::new("crates/x/src/lib.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn multi_line_safety_run_accepted() {
+        let src = "\
+// SAFETY: the pointer is derived from a live slice,
+// and the length was checked above.
+unsafe fn h(p: *mut f32) {
+    *p = 0.0;
+}
+";
+        assert!(check(&FileInput::new("crates/x/src/lib.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_strings_comments_and_tests_ignored() {
+        let src = "\
+fn f() -> &'static str {
+    // this mentions unsafe in a comment
+    \"unsafe\"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(p: *const u8) {
+        let _ = unsafe { *p };
+    }
+}
+";
+        assert!(check(&FileInput::new("crates/x/src/lib.rs", src)).is_empty());
+    }
+}

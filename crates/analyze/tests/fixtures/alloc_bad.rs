@@ -1,0 +1,19 @@
+//! hot-path-alloc: NEGATIVE fixture — every fn here allocates in hot scope.
+
+/// Hot by module configuration (the test registers this file as a hot
+/// module), so allocation anywhere outside a `cold` fn is flagged.
+pub fn decode_step(x: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    out.extend(x.iter().map(|v| v * 2.0));
+    let copied = x.to_vec();
+    let label = format!("{} elements", copied.len());
+    let boxed = Box::new(label);
+    let joined: Vec<f32> = x.iter().copied().collect();
+    drop((boxed, joined));
+    out
+}
+
+// analyze: hot
+pub fn annotated_hot(x: &[f32]) -> Vec<f32> {
+    x.to_vec()
+}

@@ -1,0 +1,29 @@
+//! hot-path-alloc: POSITIVE fixture — hot code reuses buffers; the
+//! constructor opts out with `analyze: cold`; test code may allocate.
+
+pub struct Arena {
+    buf: Vec<f32>,
+}
+
+impl Arena {
+    // analyze: cold — one-time arena construction, not the decode loop.
+    pub fn new(n: usize) -> Self {
+        Arena { buf: vec![0.0; n] }
+    }
+
+    /// Hot: writes into the preallocated buffer, no allocation.
+    pub fn decode_step(&mut self, x: &[f32]) {
+        for (dst, src) in self.buf.iter_mut().zip(x) {
+            *dst = src * 2.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        let v: Vec<u32> = (0..4).collect();
+        assert_eq!(v.to_vec().len(), 4);
+    }
+}

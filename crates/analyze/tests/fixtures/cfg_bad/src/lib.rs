@@ -1,0 +1,8 @@
+//! cfg-parity: NEGATIVE fixture — `paralel` is a typo of the declared
+//! `parallel` feature, so the gated fn silently dead-codes.
+
+#[cfg(feature = "paralel")]
+pub fn fan_out() {}
+
+#[cfg(any(test, feature = "simd"))]
+pub fn vectored() {}

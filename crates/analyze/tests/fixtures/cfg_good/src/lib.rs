@@ -1,0 +1,9 @@
+//! cfg-parity: POSITIVE fixture — every feature gate names a declared
+//! feature; doc-comment examples are not gates.
+
+/// Gate like `#[cfg(feature = "made-up")]` in a doc comment is prose.
+#[cfg(feature = "parallel")]
+pub fn fan_out() {}
+
+#[cfg(not(feature = "rayon"))]
+pub fn serial() {}

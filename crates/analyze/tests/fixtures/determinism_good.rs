@@ -1,0 +1,12 @@
+//! determinism: POSITIVE fixture — ordered containers, explicit rounding,
+//! no ambient clocks or RNG.
+
+use std::collections::BTreeMap;
+
+pub fn order_stable(m: &BTreeMap<u32, f32>) -> f64 {
+    m.values().map(|&v| v as f64).sum()
+}
+
+pub fn uncontracted(a: f32, b: f32, c: f32) -> f32 {
+    a * b + c
+}

@@ -1,0 +1,5 @@
+//! Hot module that allocates.
+
+pub fn decode(x: &[f32]) -> Vec<f32> {
+    x.to_vec()
+}

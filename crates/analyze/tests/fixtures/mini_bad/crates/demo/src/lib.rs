@@ -1,0 +1,18 @@
+//! One violation per rule, for the binary exit-code test.
+
+use std::collections::HashMap;
+
+pub fn lookup(m: &HashMap<u32, u32>, v: &[u32], i: usize) -> u32 {
+    let direct = v[i];
+    direct + *m.get(&direct).unwrap()
+}
+
+pub fn first(x: &[f32]) -> f32 {
+    // No SAFETY comment: flagged.
+    unsafe { *x.as_ptr() }
+}
+
+#[cfg(feature = "paralel")]
+pub fn fan_out() {}
+
+pub mod hot;

@@ -1,0 +1,20 @@
+//! Clean code: typed errors, ordered containers, documented unsafe, a
+//! declared feature gate, and one allowlisted `expect`.
+
+use std::collections::BTreeMap;
+
+pub fn lookup(m: &BTreeMap<u32, u32>, v: &[u32], i: usize) -> Result<u32, String> {
+    let direct = v.get(i).ok_or_else(|| format!("index {i} out of range"))?;
+    Ok(*m.get(direct).expect("constant table covers every key"))
+}
+
+pub fn first(x: &[f32]) -> f32 {
+    assert!(!x.is_empty());
+    // SAFETY: the assert above guarantees at least one element.
+    unsafe { *x.as_ptr() }
+}
+
+#[cfg(feature = "parallel")]
+pub fn fan_out() {}
+
+pub mod hot;

@@ -1,0 +1,21 @@
+//! panic-policy: NEGATIVE fixture — aborting calls and audited indexing
+//! in library code.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("need two elements")
+}
+
+pub fn zero_only(v: &[u32]) -> u32 {
+    if v.is_empty() {
+        panic!("empty");
+    }
+    v[0]
+}
+
+pub fn unfinished() -> u32 {
+    todo!()
+}

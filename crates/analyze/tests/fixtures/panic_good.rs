@@ -1,0 +1,21 @@
+//! panic-policy: POSITIVE fixture — typed errors on fallible paths,
+//! `get`-based access in audited files, unwrap confined to tests.
+
+pub fn first(v: &[u32]) -> Result<u32, String> {
+    v.first().copied().ok_or_else(|| "empty input".to_string())
+}
+
+pub fn second(v: &[u32], out: &mut [f32]) -> Option<u32> {
+    out.fill(0.0);
+    v.get(1).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+        let v = [1u32, 2];
+        assert_eq!(v[1], 2);
+    }
+}

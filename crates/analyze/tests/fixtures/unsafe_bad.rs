@@ -1,0 +1,9 @@
+//! unsafe-audit: NEGATIVE fixture — undocumented unsafe block and fn.
+
+pub fn read_first(x: &[f32]) -> f32 {
+    unsafe { *x.as_ptr() }
+}
+
+pub unsafe fn raw_add(p: *const f32, n: usize) -> *const f32 {
+    p.add(n)
+}

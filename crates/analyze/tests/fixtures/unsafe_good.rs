@@ -1,0 +1,22 @@
+//! unsafe-audit: POSITIVE fixture — every unsafe site carries a SAFETY
+//! comment immediately above (attributes may sit between).
+
+pub fn read_first(x: &[f32]) -> f32 {
+    assert!(!x.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds.
+    unsafe { *x.as_ptr() }
+}
+
+/// Offsets `p` by `n` elements.
+// SAFETY: caller must keep `p + n` within one allocation, per `add`'s
+// contract.
+#[inline]
+pub unsafe fn raw_add(p: *const f32, n: usize) -> *const f32 {
+    p.add(n)
+}
+
+/// Mentions of `unsafe` in comments or "unsafe strings" are not code.
+pub fn documented() -> &'static str {
+    "unsafe { not_code() }"
+}

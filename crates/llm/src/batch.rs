@@ -19,7 +19,119 @@ use crate::dataflow::{CommCounters, DataflowExecutor, DataflowState};
 use crate::sampler::Sampler;
 use crate::scratch::Scratch;
 use hnlpu_sim::scheduler::{BatchScheduler, Request, RoundPlan};
+use std::fmt;
 use std::time::Instant;
+
+/// Why a batched run was rejected.
+///
+/// Requests and round plans are external input to the engine (the plans
+/// normally come from `hnlpu-sim`'s scheduler, but [`execute_plan`]
+/// accepts any), so malformed ones surface as typed errors instead of
+/// aborting a process that may be serving hundreds of other sequences.
+///
+/// [`execute_plan`]: BatchedDataflowExecutor::execute_plan
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// A request's prompt was empty.
+    EmptyPrompt {
+        /// Offending request index.
+        seq: usize,
+    },
+    /// A plan referenced a sequence outside the request slice.
+    UnknownSequence {
+        /// Referenced sequence id.
+        seq: usize,
+    },
+    /// A plan decoded a sequence that was never admitted (no prefill
+    /// entry ever named it).
+    NotAdmitted {
+        /// Referenced sequence id.
+        seq: usize,
+    },
+    /// A plan gave one sequence two actions in the same round.
+    DuplicateAction {
+        /// Referenced sequence id.
+        seq: usize,
+    },
+    /// A plan prefilled past the end of a sequence's prompt.
+    PrefillOverrun {
+        /// Referenced sequence id.
+        seq: usize,
+    },
+    /// A plan decoded a sequence before its prefill finished.
+    DecodeBeforePrefill {
+        /// Referenced sequence id.
+        seq: usize,
+    },
+    /// A plan decoded a sequence past its decode budget.
+    DecodeOverrun {
+        /// Referenced sequence id.
+        seq: usize,
+    },
+    /// Admission would exceed the engine's KV slot pool.
+    PoolOverflow {
+        /// The engine's slot capacity.
+        slots: usize,
+    },
+    /// The scheduler plans more slots than the engine pools.
+    SlotsExceedCapacity {
+        /// Slots the scheduler schedules.
+        scheduled: usize,
+        /// Slots the engine pools.
+        capacity: usize,
+    },
+    /// The plan ended with a sequence still resident (unfinished).
+    Unfinished {
+        /// A sequence left resident.
+        seq: usize,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BatchError::EmptyPrompt { seq } => {
+                write!(f, "request {seq}: prompt must contain at least one token")
+            }
+            BatchError::UnknownSequence { seq } => {
+                write!(
+                    f,
+                    "plan references sequence {seq} outside the request slice"
+                )
+            }
+            BatchError::NotAdmitted { seq } => {
+                write!(f, "plan decodes sequence {seq} before it was admitted")
+            }
+            BatchError::DuplicateAction { seq } => {
+                write!(f, "plan gives sequence {seq} two actions in one round")
+            }
+            BatchError::PrefillOverrun { seq } => {
+                write!(f, "plan prefills past the prompt of sequence {seq}")
+            }
+            BatchError::DecodeBeforePrefill { seq } => {
+                write!(f, "plan decodes sequence {seq} before prefill finished")
+            }
+            BatchError::DecodeOverrun { seq } => {
+                write!(f, "plan decodes sequence {seq} past its budget")
+            }
+            BatchError::PoolOverflow { slots } => {
+                write!(f, "admission would exceed the {slots}-slot pool")
+            }
+            BatchError::SlotsExceedCapacity {
+                scheduled,
+                capacity,
+            } => write!(
+                f,
+                "scheduler schedules {scheduled} slots but the engine pools {capacity}"
+            ),
+            BatchError::Unfinished { seq } => {
+                write!(f, "plan ended with sequence {seq} still resident")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
 
 /// One sequence to serve: real prompt tokens plus a decode budget.
 #[derive(Debug, Clone)]
@@ -168,28 +280,28 @@ impl BatchedDataflowExecutor {
     /// Returns the functional report and the scheduler's analytical
     /// timing report for the identical schedule.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the scheduler's slot count exceeds this engine's
-    /// capacity, or on any condition listed for
+    /// Returns [`BatchError::SlotsExceedCapacity`] when the scheduler's
+    /// slot count exceeds this engine's capacity, or any error listed for
     /// [`execute_plan`](Self::execute_plan).
     pub fn run_with_scheduler(
         &self,
         requests: &[SequenceRequest],
         scheduler: &BatchScheduler,
-    ) -> (BatchRunReport, hnlpu_sim::SchedulerReport) {
-        assert!(
-            scheduler.slots() <= self.max_slots,
-            "scheduler schedules {} slots but the engine pools {}",
-            scheduler.slots(),
-            self.max_slots
-        );
+    ) -> Result<(BatchRunReport, hnlpu_sim::SchedulerReport), BatchError> {
+        if scheduler.slots() > self.max_slots {
+            return Err(BatchError::SlotsExceedCapacity {
+                scheduled: scheduler.slots(),
+                capacity: self.max_slots,
+            });
+        }
         let sim_reqs: Vec<Request> = requests
             .iter()
             .map(SequenceRequest::to_sim_request)
             .collect();
         let (timing, plans) = scheduler.plan(&sim_reqs);
-        (self.execute_plan(requests, &plans), timing)
+        Ok((self.execute_plan(requests, &plans)?, timing))
     }
 
     /// Execute `requests` following `plans` round by round.
@@ -198,22 +310,21 @@ impl BatchedDataflowExecutor {
     /// appears in a plan; eviction frees the slot in the round the
     /// sequence finishes, mirroring the sim scheduler's slot semantics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a prompt is empty, a plan refers to a sequence out of
-    /// range, asks for more work than a sequence has left, decodes a
-    /// sequence before its prefill finished, overflows the slot pool, or
-    /// leaves a sequence unfinished after the final round.
+    /// Returns a [`BatchError`] when a prompt is empty, a plan refers to a
+    /// sequence out of range, asks for more work than a sequence has left,
+    /// decodes a sequence before its prefill finished, overflows the slot
+    /// pool, or leaves a sequence unfinished after the final round.
     pub fn execute_plan(
         &self,
         requests: &[SequenceRequest],
         plans: &[RoundPlan],
-    ) -> BatchRunReport {
-        for r in requests {
-            assert!(
-                !r.prompt.is_empty(),
-                "prompt must contain at least one token"
-            );
+    ) -> Result<BatchRunReport, BatchError> {
+        for (seq, r) in requests.iter().enumerate() {
+            if r.prompt.is_empty() {
+                return Err(BatchError::EmptyPrompt { seq });
+            }
         }
         let started = Instant::now();
         let mut pool: Vec<Option<SeqSlot>> = Vec::new();
@@ -230,9 +341,14 @@ impl BatchedDataflowExecutor {
             // Admit sequences first referenced this round (prefill entries
             // are FCFS in admission order; decoders were admitted earlier).
             for &(seq, _) in &plan.prefill {
-                if slot_of[seq].is_none() {
-                    let slot = self.admit(&mut pool, requests, seq);
-                    slot_of[seq] = Some(slot);
+                let Some(entry) = slot_of.get(seq) else {
+                    return Err(BatchError::UnknownSequence { seq });
+                };
+                if entry.is_none() {
+                    let slot = self.admit(&mut pool, requests, seq)?;
+                    if let Some(entry) = slot_of.get_mut(seq) {
+                        *entry = Some(slot);
+                    }
                 }
             }
             peak_resident = peak_resident.max(pool.iter().flatten().count());
@@ -270,27 +386,28 @@ impl BatchedDataflowExecutor {
             let mut remaining: Vec<Option<&mut SeqSlot>> =
                 pool.iter_mut().map(Option::as_mut).collect();
             for (seq, action) in actions {
-                let slot_idx = slot_of[seq].unwrap_or_else(|| {
-                    panic!("plan decodes sequence {seq} before it was admitted")
-                });
-                let slot = remaining[slot_idx]
-                    .take()
-                    .expect("one action per sequence per round");
-                assert!(
-                    slot.prefill_pos + action.prefill as usize <= slot.prompt.len(),
-                    "plan prefills past the prompt of sequence {seq}"
-                );
+                let slot_idx = match slot_of.get(seq) {
+                    Some(&Some(idx)) => idx,
+                    Some(&None) => return Err(BatchError::NotAdmitted { seq }),
+                    None => return Err(BatchError::UnknownSequence { seq }),
+                };
+                // `remaining` is pool-sized and `slot_idx` came from a live
+                // admission, so a miss here means the slot's `&mut` was
+                // already taken: two actions for one sequence.
+                let Some(slot) = remaining.get_mut(slot_idx).and_then(Option::take) else {
+                    return Err(BatchError::DuplicateAction { seq });
+                };
+                if slot.prefill_pos + action.prefill as usize > slot.prompt.len() {
+                    return Err(BatchError::PrefillOverrun { seq });
+                }
                 prefill_tokens += action.prefill as u64;
                 if action.decode {
-                    assert_eq!(
-                        slot.prefill_pos + action.prefill as usize,
-                        slot.prompt.len(),
-                        "plan decodes sequence {seq} before prefill finished"
-                    );
-                    assert!(
-                        slot.out.len() < slot.target,
-                        "plan decodes sequence {seq} past its budget"
-                    );
+                    if slot.prefill_pos + action.prefill as usize != slot.prompt.len() {
+                        return Err(BatchError::DecodeBeforePrefill { seq });
+                    }
+                    if slot.out.len() >= slot.target {
+                        return Err(BatchError::DecodeOverrun { seq });
+                    }
                     decoded_tokens += 1;
                 }
                 work.push((slot, action));
@@ -301,21 +418,28 @@ impl BatchedDataflowExecutor {
             // Evict finished sequences, harvesting their results.
             for slot in pool.iter_mut() {
                 if slot.as_ref().is_some_and(SeqSlot::finished) {
-                    let done = slot.take().expect("checked");
-                    slot_of[done.seq] = None;
-                    per_sequence_comm[done.seq] = done.state.comm;
-                    outputs[done.seq] = done.out;
+                    let Some(done) = slot.take() else {
+                        continue;
+                    };
+                    if let Some(entry) = slot_of.get_mut(done.seq) {
+                        *entry = None;
+                    }
+                    if let Some(comm) = per_sequence_comm.get_mut(done.seq) {
+                        *comm = done.state.comm;
+                    }
+                    if let Some(out) = outputs.get_mut(done.seq) {
+                        *out = done.out;
+                    }
                 }
             }
             let kv_bytes: u64 = pool.iter().flatten().map(|s| s.state.kv_bytes_fp16()).sum();
             peak_kv_bytes = peak_kv_bytes.max(kv_bytes);
         }
-        assert!(
-            pool.iter().all(Option::is_none),
-            "plan ended with sequences still resident"
-        );
+        if let Some(still) = pool.iter().flatten().next() {
+            return Err(BatchError::Unfinished { seq: still.seq });
+        }
 
-        BatchRunReport {
+        Ok(BatchRunReport {
             comm: per_sequence_comm.iter().copied().sum(),
             outputs,
             per_sequence_comm,
@@ -325,7 +449,7 @@ impl BatchedDataflowExecutor {
             peak_resident,
             peak_kv_bytes_fp16: peak_kv_bytes,
             wall_s: started.elapsed().as_secs_f64(),
-        }
+        })
     }
 
     /// Place `seq` in the lowest free slot of the pool.
@@ -334,8 +458,10 @@ impl BatchedDataflowExecutor {
         pool: &mut Vec<Option<SeqSlot>>,
         requests: &[SequenceRequest],
         seq: usize,
-    ) -> usize {
-        let req = &requests[seq];
+    ) -> Result<usize, BatchError> {
+        let req = requests
+            .get(seq)
+            .ok_or(BatchError::UnknownSequence { seq })?;
         let slot = SeqSlot {
             seq,
             prompt: req.prompt.clone(),
@@ -346,17 +472,21 @@ impl BatchedDataflowExecutor {
             prefill_pos: 0,
             out: Vec::new(),
         };
-        if let Some(free) = pool.iter().position(Option::is_none) {
-            pool[free] = Some(slot);
-            return free;
+        if let Some((free, entry)) = pool
+            .iter_mut()
+            .enumerate()
+            .find(|(_, entry)| entry.is_none())
+        {
+            *entry = Some(slot);
+            return Ok(free);
         }
-        assert!(
-            pool.len() < self.max_slots,
-            "admission would exceed the {}-slot pool",
-            self.max_slots
-        );
+        if pool.len() >= self.max_slots {
+            return Err(BatchError::PoolOverflow {
+                slots: self.max_slots,
+            });
+        }
         pool.push(Some(slot));
-        pool.len() - 1
+        Ok(pool.len() - 1)
     }
 
     /// One pipeline round: every work item advances independently, so this
@@ -383,7 +513,11 @@ impl BatchedDataflowExecutor {
     /// through the machine when it is the last one requested.
     fn advance(&self, slot: &mut SeqSlot, action: Action) {
         for _ in 0..action.prefill {
-            let token = slot.prompt[slot.prefill_pos];
+            // Plan validation bounded `prefill_pos + prefill` by the
+            // prompt length before this slot entered the round.
+            let Some(&token) = slot.prompt.get(slot.prefill_pos) else {
+                break;
+            };
             self.inner
                 .step_with(token, &mut slot.state, &mut slot.scratch);
             slot.prefill_pos += 1;
@@ -424,7 +558,9 @@ mod tests {
             SequenceRequest::greedy(0, vec![100, 2], 5),
             SequenceRequest::greedy(0, vec![64], 12),
         ];
-        let (report, _) = eng.run_with_scheduler(&requests, &scheduler());
+        let (report, _) = eng
+            .run_with_scheduler(&requests, &scheduler())
+            .expect("plan executes");
         for (r, out) in requests.iter().zip(&report.outputs) {
             let solo = eng
                 .executor()
@@ -440,7 +576,9 @@ mod tests {
             SequenceRequest::greedy(0, vec![3, 1, 4], 6),
             SequenceRequest::greedy(0, vec![2, 7], 4),
         ];
-        let (report, _) = eng.run_with_scheduler(&requests, &scheduler());
+        let (report, _) = eng
+            .run_with_scheduler(&requests, &scheduler())
+            .expect("plan executes");
         let mut total = CommCounters::default();
         for (r, &per) in requests.iter().zip(&report.per_sequence_comm) {
             let (_, solo) = eng.executor().generate_with_report(
@@ -485,7 +623,9 @@ mod tests {
         for _ in 0..3 {
             requests.push(SequenceRequest::greedy(2_000_000, vec![4, 5], 3));
         }
-        let (report, _) = eng.run_with_scheduler(&requests, &scheduler());
+        let (report, _) = eng
+            .run_with_scheduler(&requests, &scheduler())
+            .expect("plan executes");
         assert_eq!(report.peak_resident, 3);
         assert_eq!(report.decoded_tokens, 6 * 3);
         assert_eq!(report.prefill_tokens, 6 * 2);
@@ -501,7 +641,9 @@ mod tests {
             SequenceRequest::greedy(0, vec![9, 9, 9], 0),
             SequenceRequest::greedy(0, vec![1], 2),
         ];
-        let (report, _) = eng.run_with_scheduler(&requests, &scheduler());
+        let (report, _) = eng
+            .run_with_scheduler(&requests, &scheduler())
+            .expect("plan executes");
         assert!(report.outputs[0].is_empty());
         assert_eq!(report.outputs[1].len(), 2);
     }
@@ -516,7 +658,9 @@ mod tests {
             sampler: Sampler::multinomial(0.7, seed),
         };
         let requests = vec![mk(11), mk(99)];
-        let (report, _) = eng.run_with_scheduler(&requests, &scheduler());
+        let (report, _) = eng
+            .run_with_scheduler(&requests, &scheduler())
+            .expect("plan executes");
         for (r, out) in requests.iter().zip(&report.outputs) {
             let (solo, _) = eng.executor().generate_with_report(
                 &r.prompt,
@@ -528,15 +672,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "prompt must contain")]
     fn empty_prompt_rejected() {
         let eng = engine();
         let requests = vec![SequenceRequest::greedy(0, vec![], 1)];
-        eng.run_with_scheduler(&requests, &scheduler());
+        let err = eng.run_with_scheduler(&requests, &scheduler()).unwrap_err();
+        assert_eq!(err, BatchError::EmptyPrompt { seq: 0 });
     }
 
     #[test]
-    #[should_panic(expected = "slot pool")]
+    fn decode_before_admission_rejected() {
+        let eng = engine();
+        let requests = vec![SequenceRequest::greedy(0, vec![1], 1)];
+        let plans = vec![RoundPlan {
+            decode: vec![0],
+            prefill: vec![],
+        }];
+        let err = eng.execute_plan(&requests, &plans).unwrap_err();
+        assert_eq!(err, BatchError::NotAdmitted { seq: 0 });
+    }
+
+    #[test]
     fn pool_overflow_rejected() {
         let card = zoo::dataflow_test_model();
         let w = ModelWeights::materialize(&card.config, &WeightGenerator::new(2026));
@@ -551,6 +706,7 @@ mod tests {
             decode: vec![],
             prefill: vec![(0, 1), (1, 1)],
         }];
-        eng.execute_plan(&requests, &plans);
+        let err = eng.execute_plan(&requests, &plans).unwrap_err();
+        assert_eq!(err, BatchError::PoolOverflow { slots: 1 });
     }
 }

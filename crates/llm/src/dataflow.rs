@@ -198,6 +198,7 @@ impl DataflowExecutor {
 
     /// Allocation-free [`step`](Self::step): the logits land in
     /// `scratch.logits()`.
+    // analyze: hot
     pub fn step_with(&self, token: u32, state: &mut DataflowState, scratch: &mut Scratch) {
         self.hidden_step_with(token, state, scratch);
         // Unembedding: each chip produces a vocabulary shard, all-gathered.
@@ -231,6 +232,7 @@ impl DataflowExecutor {
 
     /// Allocation-free [`hidden_step`](Self::hidden_step): the normalized
     /// hidden state lands in `scratch.hidden()`.
+    // analyze: hot
     pub fn hidden_step_with(&self, token: u32, state: &mut DataflowState, scratch: &mut Scratch) {
         let c = *self.config();
         let h = c.hidden_size;
@@ -289,6 +291,7 @@ impl DataflowExecutor {
 
     /// One transformer block: reads the residual from `scratch.x`, writes
     /// the updated residual back into it.
+    // analyze: hot
     fn block_with(&self, layer: usize, state: &mut DataflowState, scratch: &mut Scratch) {
         let c = *self.config();
         let w = &self.weights.layers[layer];
@@ -504,6 +507,7 @@ impl DataflowExecutor {
 /// Column projection with partial sums: each of the 4 chips of `col`
 /// multiplies its row slice of `x` against its block of the packed matrix;
 /// the column all-reduce sums the partials.
+// analyze: hot
 #[allow(clippy::too_many_arguments)]
 fn col_project(
     x: &[f32],
@@ -534,6 +538,7 @@ fn col_project(
 /// Flash-style column attention: each chip computes running-max statistics
 /// over its quarter of the context into its `flash_acc` block; the column
 /// all-reduce combines them exactly, in chip order.
+// analyze: hot
 #[allow(clippy::too_many_arguments)]
 fn column_attention(
     q_col: &[f32],

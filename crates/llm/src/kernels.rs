@@ -162,6 +162,10 @@ mod avx2 {
     /// Decode 16 packed bytes (32 columns of one row) into 4×8 `f32`
     /// half-unit weights, in column order: the `pshufb` against the
     /// [`HALF_UNITS`] table is the software image of the 16-region decoder.
+    // SAFETY: pure register arithmetic on AVX2 intrinsics — no memory
+    // access. Callers must have verified AVX2 support (all call sites are
+    // inside `#[target_feature(enable = "avx2")]` fns reached only via
+    // `available()`).
     #[inline(always)]
     unsafe fn decode32(bytes: __m128i, lut: __m128i, mask: __m128i) -> [__m256; 4] {
         let lo = _mm_and_si128(bytes, mask);
@@ -181,6 +185,10 @@ mod avx2 {
 
     /// 64-column panel: eight output accumulators live in registers across
     /// the whole row sweep, so there are no horizontal sums at all.
+    // SAFETY: caller (`matvec_block`) guarantees AVX2+FMA support and that
+    // `data` points at `x.len()` rows of ≥ 32 readable bytes at `stride`
+    // spacing, and `out` at ≥ 64 writable f32s. Unaligned loads/stores are
+    // used throughout, so no alignment requirement.
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn panel64(x: &[f32], data: *const u8, stride: usize, half_norm: f32, out: *mut f32) {
         let lut = _mm_loadu_si128(HALF_UNITS.as_ptr() as *const __m128i);
@@ -207,6 +215,9 @@ mod avx2 {
     }
 
     /// 32-column panel.
+    // SAFETY: caller (`matvec_block`) guarantees AVX2+FMA support and that
+    // `data` points at `x.len()` rows of ≥ 16 readable bytes at `stride`
+    // spacing, and `out` at ≥ 32 writable f32s. Unaligned accesses only.
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn panel32(x: &[f32], data: *const u8, stride: usize, half_norm: f32, out: *mut f32) {
         let lut = _mm_loadu_si128(HALF_UNITS.as_ptr() as *const __m128i);
@@ -231,6 +242,9 @@ mod avx2 {
     }
 
     /// 16-column panel (8-byte row loads).
+    // SAFETY: caller (`matvec_block`) guarantees AVX2+FMA support and that
+    // `data` points at `x.len()` rows of ≥ 8 readable bytes at `stride`
+    // spacing, and `out` at ≥ 16 writable f32s. Unaligned accesses only.
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn panel16(x: &[f32], data: *const u8, stride: usize, half_norm: f32, out: *mut f32) {
         let lut = _mm_loadu_si128(HALF_UNITS.as_ptr() as *const __m128i);
@@ -254,6 +268,12 @@ mod avx2 {
 
     /// Block matvec over packed codes. Caller guarantees bounds and an
     /// even `col_range.start`.
+    // SAFETY: caller must ensure AVX2+FMA are present (checked via
+    // `available()` at the dispatch site), `row_offset + x.len() ≤ m.rows()`,
+    // `col_range.end ≤ m.cols()`, `col_range.start` even, and
+    // `out.len() ≥ col_range.len()` — these bound every `base.add`/`out.add`
+    // below within `m.data()` / `out`. The panel helpers inherit exactly
+    // these bounds, narrowed per panel width.
     pub unsafe fn matvec_block(
         x: &[f32],
         m: &PackedFp4Matrix,

@@ -389,7 +389,7 @@ impl PacketSim {
         // Steady-state rate over the last quarter of retirements (the
         // fabric backlog takes a while to reach equilibrium).
         let mut sorted = retire_times.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(f64::total_cmp);
         let lo = sorted.len() * 3 / 4;
         let throughput = if sorted.len() >= 8 {
             let n = (sorted.len() - lo - 1) as f64;

@@ -158,19 +158,18 @@ impl BatchScheduler {
         while !queue.is_empty() || !resident.is_empty() {
             // Admit arrivals into free sequence slots.
             while resident.len() < slots {
-                match queue.front() {
-                    Some((_, r)) if r.arrival_s_micros as f64 / 1e6 <= now => {
-                        let (seq, req) = queue.pop_front().expect("peeked");
-                        resident.push(Resident {
-                            seq,
-                            req,
-                            remaining_prefill: req.prompt_tokens,
-                            remaining_decode: req.decode_tokens,
-                            arrival_s: req.arrival_s_micros as f64 / 1e6,
-                        });
-                    }
-                    _ => break,
-                }
+                let due =
+                    matches!(queue.front(), Some((_, r)) if r.arrival_s_micros as f64 / 1e6 <= now);
+                let Some((seq, req)) = (if due { queue.pop_front() } else { None }) else {
+                    break;
+                };
+                resident.push(Resident {
+                    seq,
+                    req,
+                    remaining_prefill: req.prompt_tokens,
+                    remaining_decode: req.decode_tokens,
+                    arrival_s: req.arrival_s_micros as f64 / 1e6,
+                });
             }
             if resident.is_empty() {
                 // Idle until the next arrival.

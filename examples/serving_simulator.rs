@@ -87,7 +87,9 @@ fn measured_batched_run(cfg: &SimConfig) {
         })
         .collect();
     let scheduler = BatchScheduler::new(cfg.clone(), 2048);
-    let (report, timing) = engine.run_with_scheduler(&requests, &scheduler);
+    let (report, timing) = engine
+        .run_with_scheduler(&requests, &scheduler)
+        .expect("scheduler-produced plan executes");
 
     println!(
         "model: {}  |  sequences: {}  |  slots used at peak: {}",

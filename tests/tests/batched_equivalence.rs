@@ -55,7 +55,9 @@ proptest! {
             .iter()
             .map(|(prompt, decode)| SequenceRequest::greedy(0, prompt.clone(), *decode))
             .collect();
-        let (report, _) = engine.run_with_scheduler(&requests, &scheduler());
+        let (report, _) = engine
+            .run_with_scheduler(&requests, &scheduler())
+            .expect("plan executes");
         prop_assert_eq!(report.outputs.len(), requests.len());
         for (r, out) in requests.iter().zip(&report.outputs) {
             let n = r.decode_tokens as usize;
@@ -78,7 +80,9 @@ proptest! {
             .iter()
             .map(|(prompt, decode)| SequenceRequest::greedy(0, prompt.clone(), *decode))
             .collect();
-        let (report, _) = engine.run_with_scheduler(&requests, &scheduler());
+        let (report, _) = engine
+            .run_with_scheduler(&requests, &scheduler())
+            .expect("plan executes");
         let mut total = CommCounters::default();
         for (r, &per) in requests.iter().zip(&report.per_sequence_comm) {
             let (_, solo) = engine.executor().generate_with_report(
@@ -108,7 +112,9 @@ proptest! {
                 SequenceRequest::greedy(*arrival, prompt.clone(), *decode)
             })
             .collect();
-        let (report, timing) = engine.run_with_scheduler(&requests, &scheduler());
+        let (report, timing) = engine
+            .run_with_scheduler(&requests, &scheduler())
+            .expect("plan executes");
         prop_assert_eq!(timing.completions.len(), requests.len());
         for (r, out) in requests.iter().zip(&report.outputs) {
             let n = r.decode_tokens as usize;
@@ -136,7 +142,9 @@ proptest! {
                 sampler: Sampler::multinomial(0.8, *seed),
             })
             .collect();
-        let (report, _) = engine.run_with_scheduler(&requests, &scheduler());
+        let (report, _) = engine
+            .run_with_scheduler(&requests, &scheduler())
+            .expect("plan executes");
         for (r, out) in requests.iter().zip(&report.outputs) {
             let (solo, _) = engine.executor().generate_with_report(
                 &r.prompt,
@@ -157,7 +165,9 @@ fn functional_and_timing_accounting_agree() {
     let requests: Vec<SequenceRequest> = (0..6)
         .map(|i| SequenceRequest::greedy(i as u64 * 1_000, vec![1 + i as u32, 2, 3], 4))
         .collect();
-    let (report, timing) = engine.run_with_scheduler(&requests, &scheduler());
+    let (report, timing) = engine
+        .run_with_scheduler(&requests, &scheduler())
+        .expect("plan executes");
     assert_eq!(report.decoded_tokens, timing.decoded_tokens);
     assert_eq!(report.prefill_tokens, timing.prefill_tokens);
     assert!(report.peak_resident <= scheduler().slots());
