@@ -211,25 +211,29 @@ impl BatchRunReport {
 }
 
 /// A resident sequence: its KV state plus generation progress.
+///
+/// Shared between the offline plan replay here and the online serving
+/// loop in [`crate::serve`], so both paths run sequences through the
+/// identical per-round stepping code.
 #[derive(Debug)]
-struct SeqSlot {
-    /// Index into the caller's request slice.
-    seq: usize,
-    prompt: Vec<u32>,
-    target: usize,
-    sampler: Sampler,
-    state: DataflowState,
+pub(crate) struct SeqSlot {
+    /// Index into the caller's request slice (or online sequence id).
+    pub(crate) seq: usize,
+    pub(crate) prompt: Vec<u32>,
+    pub(crate) target: usize,
+    pub(crate) sampler: Sampler,
+    pub(crate) state: DataflowState,
     /// Per-slot scratch arena; its `logits()` hold the most recent step's
     /// output (valid once anything was stepped), and reusing it keeps the
     /// whole residency of the sequence allocation-free.
-    scratch: Scratch,
+    pub(crate) scratch: Scratch,
     /// Prompt tokens consumed so far.
-    prefill_pos: usize,
-    out: Vec<u32>,
+    pub(crate) prefill_pos: usize,
+    pub(crate) out: Vec<u32>,
 }
 
 impl SeqSlot {
-    fn finished(&self) -> bool {
+    pub(crate) fn finished(&self) -> bool {
         self.prefill_pos == self.prompt.len() && self.out.len() == self.target
     }
 }
@@ -238,11 +242,11 @@ impl SeqSlot {
 /// completes mid-round chains straight into its first decode, so one item
 /// can carry both.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Action {
+pub(crate) struct Action {
     /// Prompt tokens to consume first.
-    prefill: u32,
+    pub(crate) prefill: u32,
     /// Then sample one token (stepping it back in unless it is the last).
-    decode: bool,
+    pub(crate) decode: bool,
 }
 
 /// The batched inference engine.
@@ -452,6 +456,22 @@ impl BatchedDataflowExecutor {
         })
     }
 
+    /// A fresh resident-sequence slot for `req`, tagged `seq`. Used by
+    /// both the offline plan replay and the online serving loop so every
+    /// sequence starts from identical KV/scratch state.
+    pub(crate) fn new_slot(&self, seq: usize, req: &SequenceRequest) -> SeqSlot {
+        SeqSlot {
+            seq,
+            prompt: req.prompt.clone(),
+            target: req.decode_tokens as usize,
+            sampler: req.sampler.clone(),
+            state: self.inner.new_state(),
+            scratch: self.inner.new_scratch(),
+            prefill_pos: 0,
+            out: Vec::new(),
+        }
+    }
+
     /// Place `seq` in the lowest free slot of the pool.
     fn admit(
         &self,
@@ -462,16 +482,7 @@ impl BatchedDataflowExecutor {
         let req = requests
             .get(seq)
             .ok_or(BatchError::UnknownSequence { seq })?;
-        let slot = SeqSlot {
-            seq,
-            prompt: req.prompt.clone(),
-            target: req.decode_tokens as usize,
-            sampler: req.sampler.clone(),
-            state: self.inner.new_state(),
-            scratch: self.inner.new_scratch(),
-            prefill_pos: 0,
-            out: Vec::new(),
-        };
+        let slot = self.new_slot(seq, req);
         if let Some((free, entry)) = pool
             .iter_mut()
             .enumerate()
@@ -492,7 +503,7 @@ impl BatchedDataflowExecutor {
     /// One pipeline round: every work item advances independently, so this
     /// is where sequence-level parallelism happens.
     #[cfg(feature = "parallel")]
-    fn run_round(&self, work: Vec<(&mut SeqSlot, Action)>) {
+    pub(crate) fn run_round(&self, work: Vec<(&mut SeqSlot, Action)>) {
         use rayon::prelude::*;
         work.into_par_iter()
             .for_each(|(slot, action)| self.advance(slot, action));
@@ -501,7 +512,7 @@ impl BatchedDataflowExecutor {
     /// Serial twin of the rayon round (`--no-default-features`); bit-exact
     /// with the parallel path because sequences share no arithmetic.
     #[cfg(not(feature = "parallel"))]
-    fn run_round(&self, work: Vec<(&mut SeqSlot, Action)>) {
+    pub(crate) fn run_round(&self, work: Vec<(&mut SeqSlot, Action)>) {
         for (slot, action) in work {
             self.advance(slot, action);
         }

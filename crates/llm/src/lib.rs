@@ -24,6 +24,10 @@
 //!   parallel across sequences (feature `parallel`, on by default).
 //! * [`naive`] — the pre-optimization dense-`f32`, allocating decoder kept
 //!   as the benchmark baseline and semantic cross-check.
+//! * [`serve`] — the online serving frontend: bounded-queue admission,
+//!   incremental prefill/decode scheduling on a virtual clock, per-token
+//!   streaming, cancellation, and p50/p99 TTFT/TPOT SLO reporting —
+//!   bit-identical to offline plan replay by construction.
 //!
 //! # Example
 //!
@@ -53,6 +57,7 @@ pub mod ops;
 pub mod reference;
 pub mod sampler;
 pub mod scratch;
+pub mod serve;
 pub mod tensor;
 pub mod tokenizer;
 
@@ -64,4 +69,5 @@ pub use naive::NaiveTransformer;
 pub use reference::Transformer;
 pub use sampler::Sampler;
 pub use scratch::Scratch;
+pub use serve::{OnlineServer, SeqId, SeqState, ServeError, ServeEvent, SloReport};
 pub use tokenizer::AsciiTokenizer;

@@ -1,0 +1,1076 @@
+//! Online serving frontend: admission, incremental scheduling, streaming.
+//!
+//! [`OnlineServer`] is the event-driven counterpart of the offline
+//! [`BatchedDataflowExecutor::execute_plan`] replay: requests arrive
+//! dynamically (a bounded admission queue applies backpressure as typed
+//! [`ServeError::QueueFull`] rejections), mixed prefill/decode rounds are
+//! scheduled *incrementally* with exactly the policy of
+//! [`BatchScheduler::plan`], tokens stream out per sequence as
+//! [`ServeEvent`]s, and sequences can be cancelled mid-flight (their KV
+//! slot is freed exactly once).
+//!
+//! The loop is a deterministic discrete-event simulation: time is a
+//! virtual clock advanced by [`BatchScheduler::round_s`] per pipeline
+//! round (idle gaps jump straight to the next arrival), and no wall-clock
+//! or ambient RNG exists anywhere on the path — the `hnlpu-analyze`
+//! determinism gate audits this module. Because the per-round stepping is
+//! the *same* [`crate::batch`] machinery the offline replay uses, and the
+//! incremental scheduler reproduces the offline scheduler's decisions, an
+//! online run of any workload yields bit-identical token streams — and
+//! bit-identical [`RoundPlan`]s — to planning the whole trace up front
+//! (`tests/tests/online_differential.rs` proves this by property testing).
+//!
+//! Per-request time-to-first-token (TTFT) and inter-token gaps are
+//! recorded in virtual time and summarized as a p50/p99 [`SloReport`] —
+//! the serving-side metrics the RPU memory-wall analysis motivates.
+//!
+//! Sequence lifecycle: `Queued → Prefilling → Decoding → Finished`, with
+//! `Cancelled` reachable from every live state and `QueueFull` rejections
+//! never entering the lifecycle at all.
+
+use crate::batch::{Action, BatchedDataflowExecutor, SeqSlot, SequenceRequest};
+use crate::dataflow::CommCounters;
+use hnlpu_sim::scheduler::{BatchScheduler, RoundPlan};
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Handle for a submitted sequence: the `n`th accepted
+/// [`OnlineServer::submit`] call returns `SeqId(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqId(pub usize);
+
+impl fmt::Display for SeqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seq#{}", self.0)
+    }
+}
+
+/// Why the serving frontend refused an operation. All admission-path
+/// failures are typed — a malformed or over-limit request must never
+/// abort a process serving hundreds of co-resident sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded admission queue is full (backpressure). Nothing was
+    /// enqueued; the client may retry later.
+    QueueFull {
+        /// Admission-queue capacity.
+        capacity: usize,
+    },
+    /// The request's prompt was empty.
+    EmptyPrompt,
+    /// Submissions must carry non-decreasing arrival times (the arrival
+    /// process is a totally ordered virtual-time trace).
+    ArrivalOutOfOrder {
+        /// Latest previously submitted arrival, microseconds.
+        last_micros: u64,
+        /// Offending earlier arrival, microseconds.
+        arrival_micros: u64,
+    },
+    /// The id does not name a submitted sequence.
+    UnknownSequence {
+        /// The unknown handle.
+        id: SeqId,
+    },
+    /// Cancelling a sequence that already finished or was cancelled.
+    AlreadyRetired {
+        /// The retired handle.
+        id: SeqId,
+    },
+    /// The scheduler plans more concurrent sequences than the engine's
+    /// KV pool holds.
+    SlotsExceedCapacity {
+        /// Slots the scheduler schedules.
+        scheduled: usize,
+        /// Slots the engine pools.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} waiting); retry later")
+            }
+            ServeError::EmptyPrompt => {
+                write!(f, "request prompt must contain at least one token")
+            }
+            ServeError::ArrivalOutOfOrder {
+                last_micros,
+                arrival_micros,
+            } => write!(
+                f,
+                "arrival {arrival_micros} µs precedes an earlier submission at {last_micros} µs"
+            ),
+            ServeError::UnknownSequence { id } => {
+                write!(f, "{id} was never submitted")
+            }
+            ServeError::AlreadyRetired { id } => {
+                write!(f, "{id} already finished or was cancelled")
+            }
+            ServeError::SlotsExceedCapacity {
+                scheduled,
+                capacity,
+            } => write!(
+                f,
+                "scheduler schedules {scheduled} slots but the engine pools {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Lifecycle state of a submitted sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SeqState {
+    /// Waiting in the bounded admission queue.
+    Queued,
+    /// Resident in a KV slot, consuming prompt tokens.
+    Prefilling,
+    /// Resident in a KV slot, prompt consumed, streaming output tokens.
+    Decoding,
+    /// Every requested token was streamed; the KV slot is freed.
+    Finished,
+    /// Cancelled before completion; any KV slot was freed.
+    Cancelled,
+}
+
+/// One observable serving event, stamped with virtual time. Drained in
+/// emission order via [`OnlineServer::poll_events`] — this is the
+/// streaming interface: a `Token` event is visible as soon as the round
+/// that produced it completes, long before the sequence finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeEvent {
+    /// The sequence left the admission queue and took a KV slot.
+    Admitted {
+        /// Sequence handle.
+        id: SeqId,
+        /// Virtual time, seconds.
+        t_s: f64,
+    },
+    /// One streamed output token.
+    Token {
+        /// Sequence handle.
+        id: SeqId,
+        /// Position in the sequence's output stream (0-based).
+        index: usize,
+        /// The token id.
+        token: u32,
+        /// Virtual time, seconds.
+        t_s: f64,
+    },
+    /// All requested tokens were streamed and the KV slot was freed.
+    Finished {
+        /// Sequence handle.
+        id: SeqId,
+        /// Virtual time, seconds.
+        t_s: f64,
+    },
+    /// The sequence was cancelled; a resident sequence's KV slot was
+    /// freed at this instant.
+    Cancelled {
+        /// Sequence handle.
+        id: SeqId,
+        /// Virtual time, seconds.
+        t_s: f64,
+    },
+}
+
+/// Per-request bookkeeping.
+#[derive(Debug)]
+struct SeqRecord {
+    request: SequenceRequest,
+    state: SeqState,
+    /// Pool index while resident.
+    slot: Option<usize>,
+    arrival_s: f64,
+    admitted_s: Option<f64>,
+    first_token_s: Option<f64>,
+    prev_token_s: Option<f64>,
+    finish_s: Option<f64>,
+    /// Tokens streamed so far (grown one per decode round).
+    tokens: Vec<u32>,
+    comm: CommCounters,
+    /// Times this sequence's KV slot was released — exactly 1 for every
+    /// sequence that was ever admitted, 0 for queue-only lifetimes.
+    slot_frees: u32,
+}
+
+/// Per-sequence outcome in a [`ServeReport`].
+#[derive(Debug, Clone)]
+pub struct SequenceOutcome {
+    /// Sequence handle (index in submission order).
+    pub id: SeqId,
+    /// Final lifecycle state.
+    pub state: SeqState,
+    /// Arrival time, virtual seconds.
+    pub arrival_s: f64,
+    /// When the sequence took a KV slot (None if never admitted).
+    pub admitted_s: Option<f64>,
+    /// Time to first token: first decode emission minus arrival.
+    pub ttft_s: Option<f64>,
+    /// When the sequence finished or was cancelled.
+    pub finish_s: Option<f64>,
+    /// The streamed token ids, in emission order.
+    pub tokens: Vec<u32>,
+    /// Collective-communication counters accumulated while resident.
+    pub comm: CommCounters,
+    /// KV-slot releases (exactly once per admission; see tests).
+    pub slot_frees: u32,
+}
+
+/// Aggregate service-level-objective statistics in virtual time.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloReport {
+    /// Accepted submissions.
+    pub submitted: usize,
+    /// Sequences that streamed every requested token.
+    pub completed: usize,
+    /// Sequences cancelled before completion.
+    pub cancelled: usize,
+    /// Submissions rejected by queue backpressure.
+    pub rejected: usize,
+    /// Pipeline rounds executed.
+    pub rounds: u64,
+    /// Prompt tokens prefilled.
+    pub prefill_tokens: u64,
+    /// Output tokens decoded.
+    pub decoded_tokens: u64,
+    /// Most sequences resident at once (KV slots in use).
+    pub peak_resident: usize,
+    /// Largest pooled KV footprint at fp16 storage, bytes.
+    pub peak_kv_bytes_fp16: u64,
+    /// Final virtual time, seconds.
+    pub makespan_s: f64,
+    /// Decode throughput in virtual time, tokens/s.
+    pub decode_tokens_per_s_virtual: f64,
+    /// Median time-to-first-token, seconds.
+    pub ttft_p50_s: f64,
+    /// 99th-percentile time-to-first-token, seconds.
+    pub ttft_p99_s: f64,
+    /// Mean time-to-first-token, seconds.
+    pub ttft_mean_s: f64,
+    /// Median inter-token gap (time per output token), seconds.
+    pub tpot_p50_s: f64,
+    /// 99th-percentile inter-token gap, seconds.
+    pub tpot_p99_s: f64,
+    /// Mean inter-token gap, seconds.
+    pub tpot_mean_s: f64,
+}
+
+/// Full result of an online run: SLO summary, per-sequence outcomes, and
+/// the recorded round log (for differential comparison against
+/// [`BatchScheduler::plan`]).
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Aggregate latency/throughput statistics.
+    pub slo: SloReport,
+    /// One outcome per accepted submission, indexed by [`SeqId`].
+    pub outcomes: Vec<SequenceOutcome>,
+    /// The per-round slot assignments the online loop produced.
+    pub plans: Vec<RoundPlan>,
+}
+
+/// Result of driving a whole timed trace through [`OnlineServer::run_trace`].
+#[derive(Debug)]
+pub struct TraceOutcome {
+    /// Per-submission result, in input order: the assigned [`SeqId`] or
+    /// the typed rejection.
+    pub submissions: Vec<Result<SeqId, ServeError>>,
+    /// The final report after the server drained.
+    pub report: ServeReport,
+}
+
+/// The event-driven online serving engine.
+#[derive(Debug)]
+pub struct OnlineServer {
+    engine: BatchedDataflowExecutor,
+    /// Virtual seconds per pipeline round (from [`BatchScheduler::round_s`]).
+    round_s: f64,
+    /// Concurrent-sequence capacity (the machine's pipeline slots).
+    slots: usize,
+    /// Bounded admission-queue capacity.
+    queue_capacity: usize,
+    /// The virtual clock, seconds.
+    now_s: f64,
+    last_arrival_micros: u64,
+    /// Admission queue, FCFS.
+    waiting: VecDeque<SeqId>,
+    /// Resident sequences in admission order (the scheduler's iteration
+    /// order; KV storage lives in `pool`).
+    resident: Vec<SeqId>,
+    /// Slot-indexed KV/scratch storage; `None` entries are free slots.
+    pool: Vec<Option<SeqSlot>>,
+    seqs: Vec<SeqRecord>,
+    events: VecDeque<ServeEvent>,
+    plans: Vec<RoundPlan>,
+    rounds: u64,
+    prefill_tokens: u64,
+    decoded_tokens: u64,
+    peak_resident: usize,
+    peak_kv_bytes: u64,
+    rejected: usize,
+    ttfts: Vec<f64>,
+    gaps: Vec<f64>,
+}
+
+impl OnlineServer {
+    /// A server running `engine` with the slot count and round timing of
+    /// `scheduler`, and an admission queue bounded at `queue_capacity`
+    /// waiting requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::SlotsExceedCapacity`] when the scheduler
+    /// plans more concurrent sequences than the engine pools.
+    pub fn new(
+        engine: BatchedDataflowExecutor,
+        scheduler: &BatchScheduler,
+        queue_capacity: usize,
+    ) -> Result<Self, ServeError> {
+        let slots = scheduler.slots();
+        if slots > engine.max_slots() {
+            return Err(ServeError::SlotsExceedCapacity {
+                scheduled: slots,
+                capacity: engine.max_slots(),
+            });
+        }
+        Ok(OnlineServer {
+            round_s: scheduler.round_s(),
+            slots,
+            queue_capacity,
+            engine,
+            now_s: 0.0,
+            last_arrival_micros: 0,
+            waiting: VecDeque::new(),
+            resident: Vec::new(),
+            pool: Vec::new(),
+            seqs: Vec::new(),
+            events: VecDeque::new(),
+            plans: Vec::new(),
+            rounds: 0,
+            prefill_tokens: 0,
+            decoded_tokens: 0,
+            peak_resident: 0,
+            peak_kv_bytes: 0,
+            rejected: 0,
+            ttfts: Vec::new(),
+            gaps: Vec::new(),
+        })
+    }
+
+    /// Current virtual time, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Requests waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Sequences currently holding a KV slot.
+    pub fn resident(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Lifecycle state of a submitted sequence.
+    pub fn state_of(&self, id: SeqId) -> Option<SeqState> {
+        self.seqs.get(id.0).map(|r| r.state)
+    }
+
+    /// Tokens streamed so far for a sequence.
+    pub fn tokens_of(&self, id: SeqId) -> Option<&[u32]> {
+        self.seqs.get(id.0).map(|r| r.tokens.as_slice())
+    }
+
+    /// The wrapped batched engine.
+    pub fn engine(&self) -> &BatchedDataflowExecutor {
+        &self.engine
+    }
+
+    /// Submit a request to the admission queue. The request's
+    /// `arrival_s_micros` stamps its place in the virtual arrival
+    /// process; submissions must be fed in non-decreasing arrival order
+    /// (as [`run_trace`](Self::run_trace) does).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptyPrompt`] for an empty prompt,
+    /// [`ServeError::ArrivalOutOfOrder`] for a time-travelling arrival,
+    /// and [`ServeError::QueueFull`] when backpressure rejects the
+    /// request (nothing is enqueued; the rejection is counted).
+    pub fn submit(&mut self, request: SequenceRequest) -> Result<SeqId, ServeError> {
+        if request.prompt.is_empty() {
+            return Err(ServeError::EmptyPrompt);
+        }
+        if request.arrival_s_micros < self.last_arrival_micros {
+            return Err(ServeError::ArrivalOutOfOrder {
+                last_micros: self.last_arrival_micros,
+                arrival_micros: request.arrival_s_micros,
+            });
+        }
+        if self.waiting.len() >= self.queue_capacity {
+            self.rejected += 1;
+            return Err(ServeError::QueueFull {
+                capacity: self.queue_capacity,
+            });
+        }
+        self.last_arrival_micros = request.arrival_s_micros;
+        let id = SeqId(self.seqs.len());
+        self.seqs.push(SeqRecord {
+            arrival_s: request.arrival_s_micros as f64 / 1e6,
+            request,
+            state: SeqState::Queued,
+            slot: None,
+            admitted_s: None,
+            first_token_s: None,
+            prev_token_s: None,
+            finish_s: None,
+            tokens: Vec::new(),
+            comm: CommCounters::default(),
+            slot_frees: 0,
+        });
+        self.waiting.push_back(id);
+        Ok(id)
+    }
+
+    /// Cancel a sequence. A queued sequence leaves the admission queue; a
+    /// resident one releases its KV slot immediately (exactly once). In
+    /// either case a [`ServeEvent::Cancelled`] is emitted and no further
+    /// tokens will stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSequence`] for a handle never issued,
+    /// [`ServeError::AlreadyRetired`] when the sequence already finished
+    /// or was cancelled.
+    pub fn cancel(&mut self, id: SeqId) -> Result<(), ServeError> {
+        let Some(rec) = self.seqs.get_mut(id.0) else {
+            return Err(ServeError::UnknownSequence { id });
+        };
+        match rec.state {
+            SeqState::Queued => {
+                rec.state = SeqState::Cancelled;
+                rec.finish_s = Some(self.now_s);
+                self.waiting.retain(|&w| w != id);
+            }
+            SeqState::Prefilling | SeqState::Decoding => {
+                rec.state = SeqState::Cancelled;
+                rec.finish_s = Some(self.now_s);
+                if let Some(idx) = rec.slot.take() {
+                    if let Some(gone) = self.pool.get_mut(idx).and_then(Option::take) {
+                        rec.comm = gone.state.comm;
+                        rec.slot_frees += 1;
+                    }
+                }
+                self.resident.retain(|&r| r != id);
+            }
+            SeqState::Finished | SeqState::Cancelled => {
+                return Err(ServeError::AlreadyRetired { id });
+            }
+        }
+        self.events.push_back(ServeEvent::Cancelled {
+            id,
+            t_s: self.now_s,
+        });
+        Ok(())
+    }
+
+    /// Drain pending events (admissions, streamed tokens, completions,
+    /// cancellations) in emission order.
+    pub fn poll_events(&mut self) -> Vec<ServeEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Run rounds until no sequence is queued or resident. Idle gaps
+    /// before a queued arrival jump the virtual clock forward.
+    pub fn run_until_idle(&mut self) {
+        loop {
+            self.admit_waiting();
+            if !self.resident.is_empty() {
+                self.round();
+                continue;
+            }
+            let next = self
+                .waiting
+                .front()
+                .and_then(|id| self.seqs.get(id.0))
+                .map(|r| r.arrival_s);
+            let Some(next) = next else { return };
+            if next <= self.now_s {
+                // Unreachable with a consistent queue (free slots exist
+                // when nothing is resident); bail rather than spin.
+                return;
+            }
+            self.now_s = next;
+        }
+    }
+
+    /// Advance the virtual clock to `t_s`: run rounds while work is
+    /// resident; once idle, jump straight to `t_s`.
+    fn advance_to(&mut self, t_s: f64) {
+        loop {
+            self.admit_waiting();
+            if self.resident.is_empty() {
+                self.now_s = self.now_s.max(t_s);
+                return;
+            }
+            if self.now_s >= t_s {
+                return;
+            }
+            self.round();
+        }
+    }
+
+    /// Drive a complete timed trace: each request is submitted when the
+    /// virtual clock reaches its `arrival_s_micros` (requests must be
+    /// sorted by arrival; out-of-order entries surface as typed errors in
+    /// the result), `cancels` are `(at_micros, request index)` pairs
+    /// applied at their times, and the server then runs until drained.
+    ///
+    /// Submissions at the same instant as a cancellation are delivered
+    /// first. Cancels aimed at rejected or not-yet-submitted requests are
+    /// ignored; cancelling an already-finished sequence is a no-op.
+    pub fn run_trace(
+        &mut self,
+        requests: &[SequenceRequest],
+        cancels: &[(u64, usize)],
+    ) -> TraceOutcome {
+        let mut cancels: Vec<(u64, usize)> = cancels.to_vec();
+        cancels.sort_by_key(|&(t, _)| t);
+        let mut submissions: Vec<Result<SeqId, ServeError>> = Vec::with_capacity(requests.len());
+        let mut ids: Vec<Option<SeqId>> = vec![None; requests.len()];
+        let mut si = 0usize;
+        let mut ci = 0usize;
+        loop {
+            let next_sub = requests.get(si).map(|r| r.arrival_s_micros);
+            let next_cancel = cancels.get(ci).map(|&(t, _)| t);
+            let (t_micros, is_submit) = match (next_sub, next_cancel) {
+                (Some(s), Some(c)) if s <= c => (s, true),
+                (Some(s), None) => (s, true),
+                (None, Some(c)) | (Some(_), Some(c)) => (c, false),
+                (None, None) => break,
+            };
+            self.advance_to(t_micros as f64 / 1e6);
+            if is_submit {
+                if let Some(req) = requests.get(si) {
+                    let res = self.submit(req.clone());
+                    if let (Ok(id), Some(entry)) = (&res, ids.get_mut(si)) {
+                        *entry = Some(*id);
+                    }
+                    submissions.push(res);
+                }
+                si += 1;
+            } else {
+                if let Some(&(_, target)) = cancels.get(ci) {
+                    if let Some(&Some(id)) = ids.get(target) {
+                        // Already-retired sequences make this a no-op.
+                        let _ = self.cancel(id);
+                    }
+                }
+                ci += 1;
+            }
+        }
+        self.run_until_idle();
+        TraceOutcome {
+            submissions,
+            report: self.report(),
+        }
+    }
+
+    /// Admit queued arrivals into free KV slots, FCFS, exactly as the
+    /// offline scheduler does at each round boundary.
+    fn admit_waiting(&mut self) {
+        while self.resident.len() < self.slots {
+            let Some(&id) = self.waiting.front() else {
+                break;
+            };
+            let Some(rec) = self.seqs.get(id.0) else {
+                self.waiting.pop_front();
+                continue;
+            };
+            if rec.arrival_s > self.now_s {
+                break;
+            }
+            let request = rec.request.clone();
+            self.waiting.pop_front();
+            let slot = self.engine.new_slot(id.0, &request);
+            let idx = match self
+                .pool
+                .iter_mut()
+                .enumerate()
+                .find(|(_, entry)| entry.is_none())
+            {
+                Some((free, entry)) => {
+                    *entry = Some(slot);
+                    free
+                }
+                None => {
+                    self.pool.push(Some(slot));
+                    self.pool.len() - 1
+                }
+            };
+            if let Some(rec) = self.seqs.get_mut(id.0) {
+                rec.state = SeqState::Prefilling;
+                rec.admitted_s = Some(self.now_s);
+                rec.slot = Some(idx);
+            }
+            self.resident.push(id);
+            self.events.push_back(ServeEvent::Admitted {
+                id,
+                t_s: self.now_s,
+            });
+        }
+        self.peak_resident = self.peak_resident.max(self.resident.len());
+    }
+
+    /// One pipeline round: assign slots with the offline scheduler's
+    /// policy (decode first, FCFS prefill with the remaining budget,
+    /// chained first decode), execute via the shared batch machinery,
+    /// stream the produced tokens, and evict completions.
+    fn round(&mut self) {
+        self.now_s += self.round_s;
+        self.rounds += 1;
+        let mut plan = RoundPlan::default();
+
+        // Decode slots claimed at round start (prefill-complete residents)
+        // — the budget the offline scheduler reserves before prefill.
+        let mut decoding = 0usize;
+        for &id in &self.resident {
+            let Some(idx) = self.seqs.get(id.0).and_then(|r| r.slot) else {
+                continue;
+            };
+            let Some(slot) = self.pool.get(idx).and_then(Option::as_ref) else {
+                continue;
+            };
+            if slot.prefill_pos == slot.prompt.len() && slot.out.len() < slot.target {
+                decoding += 1;
+            }
+        }
+        let mut budget = self.slots.saturating_sub(decoding) as u64;
+
+        // FCFS prefill in admission order; a prefill that completes this
+        // round chains straight into its first decode.
+        let mut planned: Vec<(SeqId, usize, Action)> = Vec::with_capacity(self.resident.len());
+        let mut prefilled = 0u64;
+        let mut decoded = 0u64;
+        for &id in &self.resident {
+            let Some(idx) = self.seqs.get(id.0).and_then(|r| r.slot) else {
+                continue;
+            };
+            let Some(slot) = self.pool.get(idx).and_then(Option::as_ref) else {
+                continue;
+            };
+            let remaining = (slot.prompt.len() - slot.prefill_pos) as u64;
+            let mut action = Action {
+                prefill: 0,
+                decode: false,
+            };
+            if remaining > 0 && budget > 0 {
+                let take = remaining.min(budget);
+                budget -= take;
+                prefilled += take;
+                action.prefill = take as u32;
+                plan.prefill.push((id.0, action.prefill));
+            }
+            let done_after = slot.prefill_pos + action.prefill as usize == slot.prompt.len();
+            if done_after && slot.out.len() < slot.target {
+                action.decode = true;
+                decoded += 1;
+                plan.decode.push(id.0);
+            }
+            if action.prefill > 0 || action.decode {
+                planned.push((id, idx, action));
+            }
+        }
+        self.prefill_tokens += prefilled;
+        self.decoded_tokens += decoded;
+
+        // Execute the round through the shared (rayon-or-serial) batch
+        // machinery: hand out disjoint &mut borrows of the pool.
+        {
+            let mut available: Vec<Option<&mut SeqSlot>> =
+                self.pool.iter_mut().map(Option::as_mut).collect();
+            let mut work: Vec<(&mut SeqSlot, Action)> = Vec::with_capacity(planned.len());
+            for &(_, idx, action) in &planned {
+                if let Some(slot) = available.get_mut(idx).and_then(Option::take) {
+                    work.push((slot, action));
+                }
+            }
+            self.engine.run_round(work);
+        }
+
+        // Stream freshly decoded tokens and advance lifecycle states.
+        let now = self.now_s;
+        for &(id, idx, action) in &planned {
+            let Some(slot) = self.pool.get(idx).and_then(Option::as_ref) else {
+                continue;
+            };
+            let Some(rec) = self.seqs.get_mut(id.0) else {
+                continue;
+            };
+            if action.decode {
+                if let Some(&token) = slot.out.last() {
+                    let index = slot.out.len() - 1;
+                    rec.tokens.push(token);
+                    if rec.first_token_s.is_none() {
+                        rec.first_token_s = Some(now);
+                        self.ttfts.push(now - rec.arrival_s);
+                    }
+                    if let Some(prev) = rec.prev_token_s {
+                        self.gaps.push(now - prev);
+                    }
+                    rec.prev_token_s = Some(now);
+                    self.events.push_back(ServeEvent::Token {
+                        id,
+                        index,
+                        token,
+                        t_s: now,
+                    });
+                }
+            }
+            if rec.state == SeqState::Prefilling && slot.prefill_pos == slot.prompt.len() {
+                rec.state = SeqState::Decoding;
+            }
+        }
+
+        // Evict completions (freeing their KV slots) and account the
+        // surviving pool footprint.
+        let resident = std::mem::take(&mut self.resident);
+        let mut kv_bytes = 0u64;
+        for id in resident {
+            let Some(idx) = self.seqs.get(id.0).and_then(|r| r.slot) else {
+                continue;
+            };
+            let finished = self
+                .pool
+                .get(idx)
+                .and_then(Option::as_ref)
+                .is_some_and(SeqSlot::finished);
+            if finished {
+                let Some(done) = self.pool.get_mut(idx).and_then(Option::take) else {
+                    continue;
+                };
+                if let Some(rec) = self.seqs.get_mut(id.0) {
+                    rec.comm = done.state.comm;
+                    rec.slot = None;
+                    rec.slot_frees += 1;
+                    rec.state = SeqState::Finished;
+                    rec.finish_s = Some(now);
+                }
+                self.events.push_back(ServeEvent::Finished { id, t_s: now });
+            } else {
+                kv_bytes += self
+                    .pool
+                    .get(idx)
+                    .and_then(Option::as_ref)
+                    .map_or(0, |s| s.state.kv_bytes_fp16());
+                self.resident.push(id);
+            }
+        }
+        self.peak_kv_bytes = self.peak_kv_bytes.max(kv_bytes);
+        self.plans.push(plan);
+    }
+
+    /// Aggregate SLO statistics so far.
+    pub fn slo_report(&self) -> SloReport {
+        let mut ttfts = self.ttfts.clone();
+        ttfts.sort_by(f64::total_cmp);
+        let mut gaps = self.gaps.clone();
+        gaps.sort_by(f64::total_cmp);
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        SloReport {
+            submitted: self.seqs.len(),
+            completed: self
+                .seqs
+                .iter()
+                .filter(|r| r.state == SeqState::Finished)
+                .count(),
+            cancelled: self
+                .seqs
+                .iter()
+                .filter(|r| r.state == SeqState::Cancelled)
+                .count(),
+            rejected: self.rejected,
+            rounds: self.rounds,
+            prefill_tokens: self.prefill_tokens,
+            decoded_tokens: self.decoded_tokens,
+            peak_resident: self.peak_resident,
+            peak_kv_bytes_fp16: self.peak_kv_bytes,
+            makespan_s: self.now_s,
+            decode_tokens_per_s_virtual: if self.now_s > 0.0 {
+                self.decoded_tokens as f64 / self.now_s
+            } else {
+                0.0
+            },
+            ttft_p50_s: percentile(&ttfts, 0.50),
+            ttft_p99_s: percentile(&ttfts, 0.99),
+            ttft_mean_s: mean(&ttfts),
+            tpot_p50_s: percentile(&gaps, 0.50),
+            tpot_p99_s: percentile(&gaps, 0.99),
+            tpot_mean_s: mean(&gaps),
+        }
+    }
+
+    /// The full report: SLO summary, per-sequence outcomes, round log.
+    pub fn report(&self) -> ServeReport {
+        let outcomes = self
+            .seqs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| SequenceOutcome {
+                id: SeqId(i),
+                state: r.state,
+                arrival_s: r.arrival_s,
+                admitted_s: r.admitted_s,
+                ttft_s: r.first_token_s.map(|t| t - r.arrival_s),
+                finish_s: r.finish_s,
+                tokens: r.tokens.clone(),
+                comm: r.comm,
+                slot_frees: r.slot_frees,
+            })
+            .collect();
+        ServeReport {
+            slo: self.slo_report(),
+            outcomes,
+            plans: self.plans.clone(),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0.0 for an
+/// empty sample, matching an idle server's report).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted.get(idx).copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::DataflowExecutor;
+    use hnlpu_model::{zoo, ModelWeights, WeightGenerator};
+    use hnlpu_sim::SimConfig;
+
+    fn engine() -> BatchedDataflowExecutor {
+        let card = zoo::dataflow_test_model();
+        let w = ModelWeights::materialize(&card.config, &WeightGenerator::new(2026));
+        BatchedDataflowExecutor::new(DataflowExecutor::new(w), 216)
+    }
+
+    fn scheduler() -> BatchScheduler {
+        BatchScheduler::new(SimConfig::paper_default(), 2048)
+    }
+
+    fn server(queue_capacity: usize) -> OnlineServer {
+        OnlineServer::new(engine(), &scheduler(), queue_capacity).expect("capacity fits")
+    }
+
+    #[test]
+    fn online_matches_offline_plan_and_tokens() {
+        let requests = vec![
+            SequenceRequest::greedy(0, vec![1, 5, 9], 8),
+            SequenceRequest::greedy(40_000, vec![100, 2], 5),
+            SequenceRequest::greedy(2_000_000, vec![64], 12),
+        ];
+        let eng = engine();
+        let sched = scheduler();
+        let (offline, offline_plans) = {
+            let sim_reqs: Vec<_> = requests
+                .iter()
+                .map(SequenceRequest::to_sim_request)
+                .collect();
+            sched.plan(&sim_reqs)
+        };
+        let offline_run = eng
+            .execute_plan(&requests, &offline_plans)
+            .expect("offline plan executes");
+
+        let mut server = OnlineServer::new(eng, &sched, requests.len()).expect("fits");
+        let outcome = server.run_trace(&requests, &[]);
+        assert!(outcome.submissions.iter().all(Result::is_ok));
+        assert_eq!(outcome.report.plans, offline_plans);
+        for (out, offline_out) in outcome.report.outcomes.iter().zip(&offline_run.outputs) {
+            assert_eq!(&out.tokens, offline_out);
+            assert_eq!(out.state, SeqState::Finished);
+        }
+        // Finish times replay the analytical completions exactly (same
+        // f64 operations in the same order).
+        let mut online_finish: Vec<f64> = outcome
+            .report
+            .outcomes
+            .iter()
+            .filter_map(|o| o.finish_s)
+            .collect();
+        online_finish.sort_by(f64::total_cmp);
+        let mut offline_finish: Vec<f64> = offline.completions.iter().map(|c| c.finish_s).collect();
+        offline_finish.sort_by(f64::total_cmp);
+        assert_eq!(online_finish, offline_finish);
+    }
+
+    #[test]
+    fn tokens_stream_before_completion() {
+        let mut server = server(4);
+        let id = server
+            .submit(SequenceRequest::greedy(0, vec![7, 3], 5))
+            .expect("accepted");
+        // Run rounds manually until the first token appears; the sequence
+        // must still be live (decoding) at that moment.
+        let mut streamed_early = false;
+        for _ in 0..3 {
+            server.admit_waiting();
+            server.round();
+            let events = server.poll_events();
+            if events
+                .iter()
+                .any(|e| matches!(e, ServeEvent::Token { id: t, .. } if *t == id))
+                && server.state_of(id) == Some(SeqState::Decoding)
+            {
+                streamed_early = true;
+                break;
+            }
+        }
+        assert!(streamed_early, "no token streamed while live");
+        server.run_until_idle();
+        assert_eq!(server.state_of(id), Some(SeqState::Finished));
+        assert_eq!(server.tokens_of(id).map(<[u32]>::len), Some(5));
+    }
+
+    #[test]
+    fn queue_full_rejection_is_typed() {
+        let mut server = server(1);
+        assert!(server
+            .submit(SequenceRequest::greedy(0, vec![1], 2))
+            .is_ok());
+        let err = server
+            .submit(SequenceRequest::greedy(0, vec![2], 2))
+            .expect_err("queue of 1 is full");
+        assert_eq!(err, ServeError::QueueFull { capacity: 1 });
+        server.run_until_idle();
+        assert_eq!(server.slo_report().rejected, 1);
+        assert_eq!(server.slo_report().completed, 1);
+    }
+
+    #[test]
+    fn empty_prompt_rejected() {
+        let mut server = server(4);
+        assert_eq!(
+            server.submit(SequenceRequest::greedy(0, vec![], 1)),
+            Err(ServeError::EmptyPrompt)
+        );
+    }
+
+    #[test]
+    fn out_of_order_arrival_rejected() {
+        let mut server = server(4);
+        assert!(server
+            .submit(SequenceRequest::greedy(5_000, vec![1], 1))
+            .is_ok());
+        assert_eq!(
+            server.submit(SequenceRequest::greedy(4_999, vec![2], 1)),
+            Err(ServeError::ArrivalOutOfOrder {
+                last_micros: 5_000,
+                arrival_micros: 4_999,
+            })
+        );
+    }
+
+    #[test]
+    fn cancel_queued_sequence_never_runs() {
+        let mut server = server(8);
+        let id = server
+            .submit(SequenceRequest::greedy(0, vec![1, 2], 4))
+            .expect("accepted");
+        server.cancel(id).expect("cancellable while queued");
+        server.run_until_idle();
+        assert_eq!(server.state_of(id), Some(SeqState::Cancelled));
+        assert_eq!(server.tokens_of(id).map(<[u32]>::len), Some(0));
+        let report = server.report();
+        assert_eq!(report.outcomes[0].slot_frees, 0);
+        assert_eq!(report.slo.rounds, 0);
+    }
+
+    #[test]
+    fn cancel_resident_frees_slot_exactly_once() {
+        let mut server = server(8);
+        let id = server
+            .submit(SequenceRequest::greedy(0, vec![1, 2, 3], 50))
+            .expect("accepted");
+        server.admit_waiting();
+        server.round();
+        assert_eq!(server.resident(), 1);
+        server.cancel(id).expect("cancellable while resident");
+        assert_eq!(server.resident(), 0);
+        assert_eq!(server.cancel(id), Err(ServeError::AlreadyRetired { id }));
+        server.run_until_idle();
+        let report = server.report();
+        assert_eq!(report.outcomes[0].slot_frees, 1);
+        assert_eq!(report.outcomes[0].state, SeqState::Cancelled);
+        // The freed slot is reusable: a new sequence admits and finishes.
+        let id2 = server
+            .submit(SequenceRequest::greedy(10_000, vec![9], 2))
+            .expect("accepted");
+        server.run_until_idle();
+        assert_eq!(server.state_of(id2), Some(SeqState::Finished));
+    }
+
+    #[test]
+    fn unknown_sequence_cancel_is_typed() {
+        let mut server = server(4);
+        assert_eq!(
+            server.cancel(SeqId(7)),
+            Err(ServeError::UnknownSequence { id: SeqId(7) })
+        );
+    }
+
+    #[test]
+    fn zero_decode_requests_finish_with_empty_stream() {
+        let mut server = server(4);
+        let id = server
+            .submit(SequenceRequest::greedy(0, vec![3, 1, 4], 0))
+            .expect("accepted");
+        server.run_until_idle();
+        assert_eq!(server.state_of(id), Some(SeqState::Finished));
+        assert_eq!(server.tokens_of(id).map(<[u32]>::len), Some(0));
+        assert_eq!(server.report().outcomes[0].slot_frees, 1);
+    }
+
+    #[test]
+    fn slo_report_counts_reconcile() {
+        let requests: Vec<SequenceRequest> = (0..6)
+            .map(|i| SequenceRequest::greedy(i * 30_000, vec![1 + i as u32, 2], 4))
+            .collect();
+        let mut server = server(16);
+        let outcome = server.run_trace(&requests, &[]);
+        let slo = &outcome.report.slo;
+        assert_eq!(slo.submitted, 6);
+        assert_eq!(slo.completed, 6);
+        assert_eq!(slo.decoded_tokens, 6 * 4);
+        assert_eq!(slo.prefill_tokens, 6 * 2);
+        assert_eq!(slo.rounds, outcome.report.plans.len() as u64);
+        assert!(slo.ttft_p50_s > 0.0 && slo.ttft_p99_s >= slo.ttft_p50_s);
+        assert!(slo.tpot_p50_s > 0.0 && slo.tpot_p99_s >= slo.tpot_p50_s);
+        assert!(slo.makespan_s > 0.0);
+        // 4 tokens per sequence -> 3 gaps each.
+        let streamed: usize = outcome.report.outcomes.iter().map(|o| o.tokens.len()).sum();
+        assert_eq!(streamed as u64, slo.decoded_tokens);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[2.0], 0.99), 2.0);
+    }
+}

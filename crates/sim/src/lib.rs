@@ -44,4 +44,4 @@ pub use packet::{PacketFabric, PacketSim, PacketSimReport};
 pub use pipeline::{Breakdown, LayerTiming};
 pub use power::{SystemPowerModel, WorkloadEnergy};
 pub use scheduler::{BatchScheduler, Request, RoundPlan, SchedulerReport};
-pub use workload::{WorkloadKind, WorkloadSpec};
+pub use workload::{WorkloadKind, WorkloadSpec, DIURNAL_PERIOD_S};

@@ -122,6 +122,18 @@ impl BatchScheduler {
         self.cfg.pipeline_slots() as usize
     }
 
+    /// Virtual-time length of one pipeline round, seconds: every slot
+    /// advances one token, so a round costs `pipeline_slots()` advance
+    /// intervals at this scheduler's nominal context.
+    ///
+    /// The online serving frontend (`hnlpu-llm::serve`) advances its
+    /// virtual clock by exactly this amount per round so its incremental
+    /// schedule reproduces [`plan`](Self::plan) bit for bit.
+    pub fn round_s(&self) -> f64 {
+        self.cfg.pipeline_slots() as f64 * advance_interval_cycles(&self.cfg, self.nominal_context)
+            / self.cfg.clock_hz
+    }
+
     /// Simulate `requests` (any order; sorted internally by arrival).
     ///
     /// Each round offers `pipeline_slots()` token slots: one per decoding
@@ -142,9 +154,7 @@ impl BatchScheduler {
         let slots = self.slots();
         // One pipeline round = all slots advance one token = slots x the
         // advance interval.
-        let round_s = self.cfg.pipeline_slots() as f64
-            * advance_interval_cycles(&self.cfg, self.nominal_context)
-            / self.cfg.clock_hz;
+        let round_s = self.round_s();
 
         let mut resident: Vec<Resident> = Vec::with_capacity(slots);
         let mut completions = Vec::new();
@@ -362,6 +372,19 @@ mod tests {
         assert_eq!(plans[0].decode, vec![0]);
         assert_eq!(plans[1].decode, vec![0]);
         assert!(plans[1].prefill.is_empty());
+    }
+
+    #[test]
+    fn round_s_times_rounds_is_the_makespan() {
+        // With every arrival at t = 0 the clock never idle-jumps, so the
+        // makespan is exactly the round count times the exposed round
+        // length — the invariant the online serving loop builds on.
+        let s = scheduler();
+        let reqs: Vec<Request> = (0..40).map(|i| Request::new(0, 8 + i, 12)).collect();
+        let (report, plans) = s.plan(&reqs);
+        let expect = plans.len() as f64 * s.round_s();
+        assert!((report.makespan_s - expect).abs() < 1e-12, "{expect}");
+        assert!(s.round_s() > 0.0);
     }
 
     #[test]

@@ -1,19 +1,32 @@
 //! Synthetic serving workloads for the continuous-batching scheduler.
 //!
-//! Three request mixes cover the serving regimes the paper's §8 anticipates
-//! ("novel LLM application scenarios"): interactive chat, long-context RAG,
-//! and offline batch scoring. All generators are seeded and deterministic.
+//! Four request mixes cover the serving regimes the paper's §8 anticipates
+//! ("novel LLM application scenarios"): interactive chat, diurnal chat (a
+//! day of traffic compressed into virtual time), long-context RAG, and
+//! offline batch scoring. All generators are pure functions of an explicit
+//! seed — no ambient RNG — so the online serving frontend and the offline
+//! plan replay can regenerate byte-identical arrival traces independently.
 
 use crate::scheduler::Request;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
+/// Virtual seconds one simulated "day" is compressed into for
+/// [`WorkloadKind::DiurnalChat`]: the arrival rate completes one full
+/// peak → trough → peak cycle over this span.
+pub const DIURNAL_PERIOD_S: f64 = 120.0;
+
 /// A named request mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum WorkloadKind {
     /// Short prompts, short-to-medium decodes, Poisson arrivals.
     Chat,
+    /// Chat-shaped requests whose Poisson rate follows a compressed
+    /// diurnal cycle: `arrivals_per_s` is the *peak* rate, and the
+    /// instantaneous rate swings sinusoidally down to 10% of it over
+    /// [`DIURNAL_PERIOD_S`].
+    DiurnalChat,
     /// Long retrieval-augmented prompts, short decodes.
     RagLongContext,
     /// Everything arrives at t = 0; medium prompts; tiny decodes
@@ -28,25 +41,42 @@ pub struct WorkloadSpec {
     pub kind: WorkloadKind,
     /// Number of requests.
     pub requests: usize,
-    /// Mean arrival rate, requests/second (ignored for `OfflineBatch`).
+    /// Mean arrival rate, requests/second (peak rate for `DiurnalChat`;
+    /// ignored for `OfflineBatch`).
     pub arrivals_per_s: f64,
-    /// RNG seed.
+    /// Default RNG seed used by [`generate`](Self::generate).
     pub seed: u64,
 }
 
 impl WorkloadSpec {
-    /// Generate the request trace.
+    /// Generate the request trace with the spec's own seed.
     ///
     /// # Panics
     ///
     /// Panics if `arrivals_per_s <= 0` for an online mix.
     pub fn generate(&self) -> Vec<Request> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.generate_with_seed(self.seed)
+    }
+
+    /// Generate the request trace from an explicit seed.
+    ///
+    /// The trace is a pure function of `(self.kind, self.requests,
+    /// self.arrivals_per_s, seed)`: two calls with equal inputs return
+    /// identical `Vec<Request>`s, which is what lets online-vs-offline
+    /// differential runs replay the same arrivals without sharing state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals_per_s <= 0` for an online mix.
+    pub fn generate_with_seed(&self, seed: u64) -> Vec<Request> {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut t_micros = 0u64;
         (0..self.requests)
             .map(|_| {
                 let (prompt, decode) = match self.kind {
-                    WorkloadKind::Chat => (rng.gen_range(16..512), rng.gen_range(32..768)),
+                    WorkloadKind::Chat | WorkloadKind::DiurnalChat => {
+                        (rng.gen_range(16..512), rng.gen_range(32..768))
+                    }
                     WorkloadKind::RagLongContext => {
                         (rng.gen_range(4096..32_768), rng.gen_range(64..512))
                     }
@@ -55,18 +85,31 @@ impl WorkloadSpec {
                 if self.kind != WorkloadKind::OfflineBatch {
                     assert!(self.arrivals_per_s > 0.0, "online mixes need a rate");
                     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                    t_micros += (-u.ln() / self.arrivals_per_s * 1e6) as u64;
+                    let rate = self.rate_at(t_micros as f64 / 1e6);
+                    t_micros += (-u.ln() / rate * 1e6) as u64;
                 }
                 Request::new(t_micros, prompt, decode)
             })
             .collect()
     }
 
+    /// Instantaneous arrival rate at virtual time `t_s` (requests/s).
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        match self.kind {
+            WorkloadKind::DiurnalChat => {
+                // Peak at t = 0, trough (10% of peak) half a period later.
+                let phase = t_s / DIURNAL_PERIOD_S * std::f64::consts::TAU;
+                self.arrivals_per_s * (0.55 + 0.45 * phase.cos())
+            }
+            _ => self.arrivals_per_s,
+        }
+    }
+
     /// Average context length this mix drives (for picking the simulator's
     /// nominal operating point).
     pub fn nominal_context(&self) -> u64 {
         match self.kind {
-            WorkloadKind::Chat => 2048,
+            WorkloadKind::Chat | WorkloadKind::DiurnalChat => 2048,
             WorkloadKind::RagLongContext => 32_768,
             WorkloadKind::OfflineBatch => 2048,
         }
@@ -88,15 +131,38 @@ mod tests {
         }
     }
 
+    const ALL_KINDS: [WorkloadKind; 4] = [
+        WorkloadKind::Chat,
+        WorkloadKind::DiurnalChat,
+        WorkloadKind::RagLongContext,
+        WorkloadKind::OfflineBatch,
+    ];
+
     #[test]
     fn generators_are_deterministic() {
-        for kind in [
-            WorkloadKind::Chat,
-            WorkloadKind::RagLongContext,
-            WorkloadKind::OfflineBatch,
-        ] {
+        for kind in ALL_KINDS {
             assert_eq!(spec(kind).generate(), spec(kind).generate());
         }
+    }
+
+    #[test]
+    fn explicit_seed_replays_the_exact_trace() {
+        // Determinism regression for the online/offline differential
+        // harness: the trace is a pure function of the explicit seed, and
+        // `generate()` is exactly `generate_with_seed(self.seed)`.
+        for kind in ALL_KINDS {
+            let s = spec(kind);
+            assert_eq!(s.generate_with_seed(5), s.generate_with_seed(5));
+            assert_eq!(s.generate(), s.generate_with_seed(s.seed));
+            let reseeded = WorkloadSpec { seed: 99, ..s };
+            assert_eq!(reseeded.generate(), s.generate_with_seed(99));
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_the_trace() {
+        let s = spec(WorkloadKind::Chat);
+        assert_ne!(s.generate_with_seed(1), s.generate_with_seed(2));
     }
 
     #[test]
@@ -107,10 +173,44 @@ mod tests {
 
     #[test]
     fn chat_arrivals_are_increasing() {
-        let reqs = spec(WorkloadKind::Chat).generate();
-        for w in reqs.windows(2) {
-            assert!(w[1].arrival_s_micros >= w[0].arrival_s_micros);
+        for kind in [WorkloadKind::Chat, WorkloadKind::DiurnalChat] {
+            let reqs = spec(kind).generate();
+            for w in reqs.windows(2) {
+                assert!(w[1].arrival_s_micros >= w[0].arrival_s_micros);
+            }
         }
+    }
+
+    #[test]
+    fn diurnal_trough_slows_arrivals() {
+        // The mean inter-arrival gap near the trough (half a period in) is
+        // several times the gap near the t = 0 peak.
+        let s = WorkloadSpec {
+            kind: WorkloadKind::DiurnalChat,
+            requests: 8_000,
+            arrivals_per_s: 100.0,
+            seed: 11,
+        };
+        let reqs = s.generate();
+        let half = DIURNAL_PERIOD_S / 2.0;
+        let mean_gap_in = |lo: f64, hi: f64| {
+            let mut gaps = Vec::new();
+            for w in reqs.windows(2) {
+                let t = w[0].arrival_s_micros as f64 / 1e6;
+                if t >= lo && t < hi {
+                    gaps.push((w[1].arrival_s_micros - w[0].arrival_s_micros) as f64);
+                }
+            }
+            assert!(!gaps.is_empty(), "window [{lo}, {hi}) saw no arrivals");
+            gaps.iter().sum::<f64>() / gaps.len() as f64
+        };
+        let peak = mean_gap_in(0.0, 10.0);
+        let trough = mean_gap_in(half - 8.0, half + 8.0);
+        assert!(
+            trough > peak * 3.0,
+            "trough gap {trough} not >> peak gap {peak}"
+        );
+        assert!(s.rate_at(0.0) > s.rate_at(half) * 5.0);
     }
 
     #[test]
@@ -122,11 +222,7 @@ mod tests {
     #[test]
     fn every_mix_runs_through_the_scheduler() {
         let cfg = SimConfig::paper_default();
-        for kind in [
-            WorkloadKind::Chat,
-            WorkloadKind::RagLongContext,
-            WorkloadKind::OfflineBatch,
-        ] {
+        for kind in ALL_KINDS {
             let s = spec(kind);
             let report = BatchScheduler::new(cfg.clone(), s.nominal_context()).run(&s.generate());
             assert_eq!(report.completions.len(), 300, "{kind:?}");

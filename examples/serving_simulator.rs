@@ -11,13 +11,23 @@
 //! tokens/s, KV-pool footprint, and collective counts come from actual
 //! execution, not a formula.
 //!
+//! Part 3 is the *online* mode: dynamically arriving requests (diurnal
+//! Poisson arrivals) hit the event-driven `OnlineServer` — bounded
+//! admission queue, incremental prefill/decode scheduling, per-token
+//! streaming, cancellation — and the sweep over arrival rates × admission
+//! caps reports p50/p99 TTFT and TPOT in virtual time, written to
+//! `serve-slo-report.json` for the CI artifact.
+//!
 //! Run with: `cargo run --release -p hnlpu --example serving_simulator`
+//! (set `HNLPU_SERVE_QUICK=1` for the small smoke configuration).
 
-use hnlpu::llm::{BatchedDataflowExecutor, DataflowExecutor, SequenceRequest};
+use hnlpu::llm::serve::OnlineServer;
+use hnlpu::llm::{BatchedDataflowExecutor, DataflowExecutor, SequenceRequest, SloReport};
 use hnlpu::model::{zoo, ModelWeights, WeightGenerator};
 use hnlpu::sim::{BatchScheduler, SimConfig, WorkloadKind, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::Serialize;
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -125,9 +135,153 @@ fn measured_batched_run(cfg: &SimConfig) {
     );
 }
 
+/// One cell of the online SLO sweep, serialized into the CI artifact.
+#[derive(Serialize)]
+struct SloCell {
+    arrivals_per_s: f64,
+    queue_capacity: usize,
+    cancelled_every: Option<usize>,
+    slo: SloReport,
+}
+
+/// The `serve-slo-report.json` artifact.
+#[derive(Serialize)]
+struct SloArtifact {
+    model: String,
+    requests_per_cell: usize,
+    pipeline_slots: u32,
+    workload: &'static str,
+    cells: Vec<SloCell>,
+}
+
+/// A chat-shaped functional request trace riding the workload generator's
+/// arrival process: arrival times come from the (seeded, diurnal Poisson)
+/// trace; prompts/decodes are shrunk to the test model's scale.
+fn functional_trace(spec: &WorkloadSpec, vocab: u32, seed: u64) -> Vec<SequenceRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    spec.generate_with_seed(seed)
+        .iter()
+        .map(|r| {
+            let prompt_len = rng.gen_range(4..16);
+            let prompt = (0..prompt_len).map(|_| rng.gen_range(0..vocab)).collect();
+            SequenceRequest::greedy(r.arrival_s_micros, prompt, rng.gen_range(8..32))
+        })
+        .collect()
+}
+
+fn online_serving_run(cfg: &SimConfig, quick: bool) {
+    println!("== online: event-driven serving with SLOs (virtual time) ==");
+    let card = zoo::dataflow_test_model();
+    let weights = ModelWeights::materialize(&card.config, &WeightGenerator::new(7));
+    let scheduler = BatchScheduler::new(cfg.clone(), 2048);
+    let requests_per_cell = if quick { 72 } else { 480 };
+    // The machine decodes ~250K tokens/s across 216 slots; chat requests
+    // average ~30 tokens, so saturation begins near 9K arrivals/s — the
+    // sweep brackets it (under, near, far past).
+    let rates: &[f64] = if quick {
+        &[2_000.0]
+    } else {
+        &[2_000.0, 8_000.0, 32_000.0]
+    };
+    let caps: &[usize] = if quick { &[64] } else { &[32, 1024] };
+    // The last sweep point also cancels every 7th request mid-flight to
+    // exercise slot reclamation under load.
+    let cancel_every = 7usize;
+
+    println!(
+        "model: {}  |  {} requests/cell  |  diurnal Poisson arrivals  |  {} slots\n",
+        card.name,
+        requests_per_cell,
+        scheduler.slots()
+    );
+    println!(
+        "{:>10} {:>9} {:>8} {:>8} {:>8} {:>11} {:>11} {:>11} {:>11}",
+        "arrivals/s",
+        "queue cap",
+        "done",
+        "cancel",
+        "reject",
+        "TTFT p50 s",
+        "TTFT p99 s",
+        "TPOT p50 s",
+        "TPOT p99 s"
+    );
+
+    let mut cells = Vec::new();
+    for (ci, &rate) in rates.iter().enumerate() {
+        let spec = WorkloadSpec {
+            kind: WorkloadKind::DiurnalChat,
+            requests: requests_per_cell,
+            arrivals_per_s: rate,
+            seed: 7,
+        };
+        let requests = functional_trace(&spec, card.config.vocab_size as u32, 7 + ci as u64);
+        for (ki, &cap) in caps.iter().enumerate() {
+            let with_cancels = ci + 1 == rates.len() && ki + 1 == caps.len();
+            let cancels: Vec<(u64, usize)> = if with_cancels {
+                requests
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % cancel_every == cancel_every - 1)
+                    .map(|(i, r)| (r.arrival_s_micros + 2_000, i))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let engine = BatchedDataflowExecutor::new(
+                DataflowExecutor::new(weights.clone()),
+                cfg.pipeline_slots() as usize,
+            );
+            let mut server =
+                OnlineServer::new(engine, &scheduler, cap).expect("slots fit the engine pool");
+            let outcome = server.run_trace(&requests, &cancels);
+            let slo = outcome.report.slo.clone();
+            println!(
+                "{:>10.0} {:>9} {:>8} {:>8} {:>8} {:>11.4} {:>11.4} {:>11.5} {:>11.5}",
+                rate,
+                cap,
+                slo.completed,
+                slo.cancelled,
+                slo.rejected,
+                slo.ttft_p50_s,
+                slo.ttft_p99_s,
+                slo.tpot_p50_s,
+                slo.tpot_p99_s
+            );
+            cells.push(SloCell {
+                arrivals_per_s: rate,
+                queue_capacity: cap,
+                cancelled_every: with_cancels.then_some(cancel_every),
+                slo,
+            });
+        }
+    }
+
+    let artifact = SloArtifact {
+        model: card.name.to_string(),
+        requests_per_cell,
+        pipeline_slots: cfg.pipeline_slots(),
+        workload: "diurnal-chat",
+        cells,
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("report serializes");
+    std::fs::write("serve-slo-report.json", json).expect("report file writes");
+    println!(
+        "\nTight admission queues trade rejections for tail latency: under the\n\
+         heavy arrival rate the small queue sheds load (typed QueueFull) and\n\
+         keeps TTFT p99 bounded, while the deep queue accepts everything and\n\
+         lets queueing delay dominate the tail. Every cell replays bit-for-bit\n\
+         against offline planning (see tests/tests/online_differential.rs).\n\
+         Wrote serve-slo-report.json."
+    );
+}
+
 fn main() {
     let cfg = SimConfig::paper_default();
+    let quick = std::env::var_os("HNLPU_SERVE_QUICK").is_some();
     println!("HNLPU continuous-batching serving simulation\n");
     analytical_sweep(&cfg);
     measured_batched_run(&cfg);
+    println!();
+    online_serving_run(&cfg, quick);
 }

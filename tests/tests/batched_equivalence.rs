@@ -156,6 +156,104 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `BatchRunReport` accounting under mixed prefill/decode rounds:
+    /// token totals are exactly conserved (every prompt prefilled once,
+    /// every requested decode token produced once), the round count
+    /// equals the plan length, and the per-round plan tallies reconcile
+    /// with the aggregate counters. Holds identically under rayon and
+    /// the `--no-default-features` serial build (CI runs both).
+    #[test]
+    fn run_report_accounting_is_conserved(
+        specs in prop::collection::vec(
+            (prop::collection::vec(0u32..128, 1..6), 0u32..8, 0u64..4_000_000),
+            1..6,
+        ),
+    ) {
+        let (engine, _) = machines();
+        let requests: Vec<SequenceRequest> = specs
+            .iter()
+            .map(|(prompt, decode, arrival)| {
+                SequenceRequest::greedy(*arrival, prompt.clone(), *decode)
+            })
+            .collect();
+        let sim_reqs: Vec<_> = requests
+            .iter()
+            .map(SequenceRequest::to_sim_request)
+            .collect();
+        let (_, plans) = scheduler().plan(&sim_reqs);
+        let report = engine.execute_plan(&requests, &plans).expect("plan executes");
+
+        // Rounds executed == rounds planned.
+        prop_assert_eq!(report.rounds, plans.len() as u64);
+        // Output streams conserve the decode budget exactly.
+        let want_decode: u64 = requests.iter().map(|r| r.decode_tokens as u64).sum();
+        let got_decode: u64 = report.outputs.iter().map(|o| o.len() as u64).sum();
+        prop_assert_eq!(got_decode, want_decode);
+        prop_assert_eq!(report.decoded_tokens, want_decode);
+        // Every prompt token is prefilled exactly once.
+        let want_prefill: u64 = requests.iter().map(|r| r.prompt.len() as u64).sum();
+        prop_assert_eq!(report.prefill_tokens, want_prefill);
+        // The plan's own per-round tallies reconcile with the aggregates.
+        let plan_prefill: u64 = plans
+            .iter()
+            .flat_map(|p| p.prefill.iter().map(|&(_, n)| n as u64))
+            .sum();
+        let plan_decode: u64 = plans.iter().map(|p| p.decode.len() as u64).sum();
+        prop_assert_eq!(plan_prefill, want_prefill);
+        prop_assert_eq!(plan_decode, want_decode);
+        // Residency stays within the machine.
+        prop_assert!(report.peak_resident <= scheduler().slots());
+        prop_assert!(report.peak_resident <= requests.len());
+    }
+}
+
+/// Accounting specifically across rounds that mix prefill and decode:
+/// a late arrival prefills while an early sequence is mid-decode, and
+/// the aggregate counters still reconcile with the per-round plans.
+#[test]
+fn accounting_reconciles_across_mixed_rounds() {
+    let (engine, _) = machines();
+    // First request decodes for many rounds; the second arrives early
+    // enough to prefill during them.
+    let requests = vec![
+        SequenceRequest::greedy(0, vec![3, 1, 4], 24),
+        SequenceRequest::greedy(1_000, vec![1, 5, 9, 2, 6], 8),
+    ];
+    let sim_reqs: Vec<_> = requests
+        .iter()
+        .map(SequenceRequest::to_sim_request)
+        .collect();
+    let (_, plans) = scheduler().plan(&sim_reqs);
+    // The schedule really does mix: some round both prefills and decodes.
+    assert!(
+        plans
+            .iter()
+            .any(|p| !p.prefill.is_empty() && !p.decode.is_empty()),
+        "expected at least one mixed prefill/decode round"
+    );
+    let report = engine
+        .execute_plan(&requests, &plans)
+        .expect("plan executes");
+    assert_eq!(report.rounds, plans.len() as u64);
+    assert_eq!(report.decoded_tokens, 24 + 8);
+    assert_eq!(report.prefill_tokens, 3 + 5);
+    assert_eq!(report.outputs[0].len(), 24);
+    assert_eq!(report.outputs[1].len(), 8);
+    assert_eq!(report.peak_resident, 2);
+    // Streams are unchanged by the interleaving.
+    for (r, out) in requests.iter().zip(&report.outputs) {
+        assert_eq!(
+            &engine
+                .executor()
+                .generate_greedy(&r.prompt, r.decode_tokens as usize),
+            out
+        );
+    }
+}
+
 /// The functional engine's accounting agrees with the timing model's for
 /// the shared schedule: same decode/prefill token totals, and residency
 /// bounded by the machine's slot count.
