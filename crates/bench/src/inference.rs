@@ -21,6 +21,14 @@ pub const PREFILL_TOKENS: usize = 32;
 /// Tokens decoded per iteration of the decode benchmarks.
 pub const DECODE_TOKENS: usize = 32;
 
+/// Prompt length of the prefill-throughput sweep (one full
+/// `MAX_PREFILL_PANEL` at the widest setting).
+pub const PREFILL_MATMUL_TOKENS: usize = 64;
+
+/// Panel widths the prefill-throughput sweep runs (`prefill_chunked`'s
+/// knob); `per_token` is the seed-style `step_with` loop baseline.
+pub const PREFILL_PANEL_SWEEP: &[usize] = &[1, 4, 16, 64];
+
 /// Tokens processed per iteration of each labelled benchmark, used to
 /// convert mean ns/iter into tokens/s. Benchmarks not listed here (the
 /// kernel micro-benchmarks) time one matvec per iteration and have no
@@ -30,6 +38,11 @@ pub const TOKENS_PER_ITER: &[(&str, usize)] = &[
     ("inference/prefill/naive", PREFILL_TOKENS),
     ("inference/decode/packed", DECODE_TOKENS),
     ("inference/decode/naive", DECODE_TOKENS),
+    ("inference/prefill_matmul/per_token", PREFILL_MATMUL_TOKENS),
+    ("inference/prefill_matmul/t1", PREFILL_MATMUL_TOKENS),
+    ("inference/prefill_matmul/t4", PREFILL_MATMUL_TOKENS),
+    ("inference/prefill_matmul/t16", PREFILL_MATMUL_TOKENS),
+    ("inference/prefill_matmul/t64", PREFILL_MATMUL_TOKENS),
 ];
 
 const PREFIX: [u32; 4] = [1, 5, 9, 17];
@@ -43,6 +56,25 @@ fn quick() -> bool {
 pub fn bench_weights() -> ModelWeights {
     let card = zoo::dataflow_test_model();
     ModelWeights::materialize(&card.config, &WeightGenerator::new(2026))
+}
+
+/// The larger model the prefill-throughput sweep runs: same 4×4-mappable
+/// family as [`bench_weights`], scaled until projections and experts
+/// dominate the step (hidden 256, 2048-entry vocabulary, 16 experts of
+/// intermediate 512) so the sweep measures the matmul kernels rather than
+/// per-token bookkeeping.
+pub fn prefill_bench_weights() -> ModelWeights {
+    let mut c = zoo::dataflow_test_model().config;
+    c.hidden_size = 256;
+    c.vocab_size = 2048;
+    c.num_layers = 2;
+    c.attention.head_dim = 32;
+    c.attention.num_query_heads = 8;
+    c.attention.num_kv_heads = 4;
+    c.moe.num_experts = 16;
+    c.moe.experts_per_token = 4;
+    c.moe.intermediate_size = 512;
+    ModelWeights::materialize(&c, &WeightGenerator::new(2026))
 }
 
 /// Register the full suite on `c`: prefill and decode for both engines,
@@ -123,6 +155,45 @@ pub fn inference_suite(c: &mut Criterion) {
     });
     g.finish();
 
+    // Prefill-throughput sweep on the larger model: one full prompt per
+    // iteration, either stepped token by token (the seed loop, which also
+    // unembeds every prompt token) or panelled through the matmul
+    // kernels at width T. All five produce bit-identical KV and logits.
+    let big = prefill_bench_weights();
+    let big_model = Transformer::new(big);
+    let big_vocab = big_model.config().vocab_size as u32;
+    let sweep_prompt: Vec<u32> = (0..PREFILL_MATMUL_TOKENS as u32)
+        .map(|i| (i * 7 + 1) % big_vocab)
+        .collect();
+    let mut scratch = big_model.new_scratch();
+    let mut g = c.benchmark_group("inference/prefill_matmul");
+    g.sample_size(samples);
+    g.bench_function("per_token", |b| {
+        b.iter(|| {
+            let mut cache = big_model.new_cache();
+            for &tok in &sweep_prompt {
+                big_model.step_with(black_box(tok), &mut cache, &mut scratch);
+            }
+            scratch.logits()[0]
+        })
+    });
+    for &panel in PREFILL_PANEL_SWEEP {
+        g.bench_function(format!("t{panel}"), |b| {
+            b.iter(|| {
+                let mut cache = big_model.new_cache();
+                big_model.prefill_chunked(
+                    black_box(&sweep_prompt),
+                    &mut cache,
+                    &mut scratch,
+                    panel,
+                    true,
+                );
+                scratch.logits()[0]
+            })
+        });
+    }
+    g.finish();
+
     // Kernel micro-benchmark: one q-projection matvec, packed region
     // accumulation vs dense f32, on the real layer-0 weight matrix.
     let wq = &w.layers[0].wq;
@@ -167,6 +238,19 @@ pub fn inference_suite(c: &mut Criterion) {
             out[0]
         })
     });
+    // Row-partitioned decode matvec: 2880×2880 (8.3M cells) clears
+    // `ROWS_PARALLEL_MIN_WORK`, so with the `parallel` feature and a
+    // multi-core host the four fixed splits run on worker threads (on a
+    // single core they run inline); the deterministic reduction keeps the
+    // output bit-identical either way, so this ratio reads as split
+    // overhead on 1-core runners and as speedup on multi-core ones.
+    let mut partials = vec![0.0f32; kernels::ROW_SPLITS * cols];
+    g.bench_function("rows_parallel", |b| {
+        b.iter(|| {
+            kernels::matvec_rows_parallel_into(black_box(&x), &big, &mut out, &mut partials);
+            out[0]
+        })
+    });
     g.bench_function("naive", |b| {
         b.iter(|| tensor::vec_mat(black_box(&x), &big_dense, cols)[0])
     });
@@ -188,6 +272,29 @@ mod tests {
         }
         assert!(labels.contains(&"inference/matvec_wq/packed"));
         assert!(labels.contains(&"inference/matvec_wq/naive"));
+        assert!(labels.contains(&"inference/matvec_2880x2880/rows_parallel"));
         assert!(c.results().iter().all(|&(_, ns)| ns > 0.0));
+    }
+
+    #[test]
+    fn prefill_sweep_paths_agree_bitwise() {
+        // Every point of the sweep is the same computation: the panelled
+        // prefill must reproduce the per-token loop's logits exactly.
+        let m = Transformer::new(prefill_bench_weights());
+        let vocab = m.config().vocab_size as u32;
+        let prompt: Vec<u32> = (0..PREFILL_MATMUL_TOKENS as u32)
+            .map(|i| (i * 7 + 1) % vocab)
+            .collect();
+        let mut scratch = m.new_scratch();
+        let mut cache = m.new_cache();
+        for &tok in &prompt {
+            m.step_with(tok, &mut cache, &mut scratch);
+        }
+        let want = scratch.logits().to_vec();
+        for &panel in PREFILL_PANEL_SWEEP {
+            let mut cache = m.new_cache();
+            m.prefill_chunked(&prompt, &mut cache, &mut scratch, panel, true);
+            assert_eq!(want.as_slice(), scratch.logits(), "panel {panel}");
+        }
     }
 }

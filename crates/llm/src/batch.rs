@@ -16,6 +16,7 @@
 //! Both paths are bit-exact: no cross-sequence arithmetic exists.
 
 use crate::dataflow::{CommCounters, DataflowExecutor, DataflowState};
+use crate::reference::PrefillStats;
 use crate::sampler::Sampler;
 use crate::scratch::Scratch;
 use hnlpu_sim::scheduler::{BatchScheduler, Request, RoundPlan};
@@ -182,6 +183,12 @@ pub struct BatchRunReport {
     pub decoded_tokens: u64,
     /// Total prefilled prompt tokens.
     pub prefill_tokens: u64,
+    /// Matmul prefill panels executed across all sequences. A healthy
+    /// schedule keeps this far below `prefill_tokens` — equality means
+    /// every panel degenerated to T=1.
+    pub prefill_panels: u64,
+    /// Tokens in the widest prefill panel any sequence ran.
+    pub prefill_max_panel: usize,
     /// Most sequences resident at once (KV slots in use).
     pub peak_resident: usize,
     /// Largest pooled KV footprint at fp16 storage, bytes.
@@ -229,6 +236,8 @@ pub(crate) struct SeqSlot {
     pub(crate) scratch: Scratch,
     /// Prompt tokens consumed so far.
     pub(crate) prefill_pos: usize,
+    /// Panel accounting for this sequence's prefill chunks.
+    pub(crate) prefill_stats: PrefillStats,
     pub(crate) out: Vec<u32>,
 }
 
@@ -338,6 +347,8 @@ impl BatchedDataflowExecutor {
         let mut per_sequence_comm = vec![CommCounters::default(); requests.len()];
         let mut decoded_tokens = 0u64;
         let mut prefill_tokens = 0u64;
+        let mut prefill_panels = 0u64;
+        let mut prefill_max_panel = 0usize;
         let mut peak_resident = 0usize;
         let mut peak_kv_bytes = 0u64;
 
@@ -431,6 +442,8 @@ impl BatchedDataflowExecutor {
                     if let Some(comm) = per_sequence_comm.get_mut(done.seq) {
                         *comm = done.state.comm;
                     }
+                    prefill_panels += done.prefill_stats.panels;
+                    prefill_max_panel = prefill_max_panel.max(done.prefill_stats.max_panel);
                     if let Some(out) = outputs.get_mut(done.seq) {
                         *out = done.out;
                     }
@@ -450,6 +463,8 @@ impl BatchedDataflowExecutor {
             rounds: plans.len() as u64,
             decoded_tokens,
             prefill_tokens,
+            prefill_panels,
+            prefill_max_panel,
             peak_resident,
             peak_kv_bytes_fp16: peak_kv_bytes,
             wall_s: started.elapsed().as_secs_f64(),
@@ -468,6 +483,7 @@ impl BatchedDataflowExecutor {
             state: self.inner.new_state(),
             scratch: self.inner.new_scratch(),
             prefill_pos: 0,
+            prefill_stats: PrefillStats::default(),
             out: Vec::new(),
         }
     }
@@ -519,19 +535,26 @@ impl BatchedDataflowExecutor {
     }
 
     /// Advance one sequence by its round action. Exactly mirrors
-    /// [`DataflowExecutor::generate_with_report`]: prompt tokens step in
-    /// order, then the sampled token is emitted without being stepped back
-    /// through the machine when it is the last one requested.
+    /// [`DataflowExecutor::generate_with_report`]: the round's prompt
+    /// tokens run as one matmul prefill panel (bit-identical to stepping
+    /// them in order, and logits are only unembedded on the chunk that
+    /// completes the prompt), then the sampled token is emitted without
+    /// being stepped back through the machine when it is the last one
+    /// requested.
     fn advance(&self, slot: &mut SeqSlot, action: Action) {
-        for _ in 0..action.prefill {
+        if action.prefill > 0 {
             // Plan validation bounded `prefill_pos + prefill` by the
             // prompt length before this slot entered the round.
-            let Some(&token) = slot.prompt.get(slot.prefill_pos) else {
-                break;
-            };
-            self.inner
-                .step_with(token, &mut slot.state, &mut slot.scratch);
-            slot.prefill_pos += 1;
+            let end = (slot.prefill_pos + action.prefill as usize).min(slot.prompt.len());
+            let chunk = slot.prompt.get(slot.prefill_pos..end).unwrap_or(&[]);
+            if !chunk.is_empty() {
+                let want_logits = end == slot.prompt.len();
+                let stats =
+                    self.inner
+                        .prefill_with(chunk, &mut slot.state, &mut slot.scratch, want_logits);
+                slot.prefill_stats.merge(stats);
+                slot.prefill_pos = end;
+            }
         }
         if action.decode {
             let next = slot.sampler.sample(slot.scratch.logits());
@@ -680,6 +703,52 @@ mod tests {
             );
             assert_eq!(&solo, out);
         }
+    }
+
+    #[test]
+    fn prefill_panels_are_counted_per_round_chunk() {
+        let eng = engine();
+        let requests = vec![SequenceRequest::greedy(0, vec![1, 5, 9, 2, 7], 2)];
+        // A prompt spanning rounds: each round's chunk is one full panel,
+        // never a loop of T=1 steps.
+        let plans = vec![
+            RoundPlan {
+                decode: vec![],
+                prefill: vec![(0, 2)],
+            },
+            RoundPlan {
+                decode: vec![0],
+                prefill: vec![(0, 3)],
+            },
+            RoundPlan {
+                decode: vec![0],
+                prefill: vec![],
+            },
+        ];
+        let report = eng.execute_plan(&requests, &plans).expect("plan executes");
+        assert_eq!(report.prefill_tokens, 5);
+        assert_eq!(report.prefill_panels, 2);
+        assert_eq!(report.prefill_max_panel, 3);
+        let solo = eng.executor().generate_greedy(&requests[0].prompt, 2);
+        assert_eq!(report.outputs[0], solo);
+    }
+
+    #[test]
+    fn scheduler_driven_prefill_is_not_degenerate() {
+        let eng = engine();
+        let requests = vec![
+            SequenceRequest::greedy(0, vec![1, 5, 9], 2),
+            SequenceRequest::greedy(0, vec![100, 2], 2),
+        ];
+        let (report, _) = eng
+            .run_with_scheduler(&requests, &scheduler())
+            .expect("plan executes");
+        // Multi-token prompts must arrive at the kernels as multi-token
+        // panels: fewer panels than prompt tokens, and the widest panel
+        // covers the longest prompt (chunk budget 2048 ≫ both prompts).
+        assert_eq!(report.prefill_tokens, 5);
+        assert_eq!(report.prefill_panels, 2);
+        assert_eq!(report.prefill_max_panel, 3);
     }
 
     #[test]

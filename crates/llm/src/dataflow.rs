@@ -17,17 +17,26 @@
 //! The executor is verified token-for-token against
 //! [`crate::reference::Transformer`].
 
-use crate::kernels::{matvec_block_into, matvec_into};
+use crate::kernels::{
+    matmul_block_into, matmul_into, matvec_block_into, matvec_into, matvec_rows_split_into,
+    ROW_SPLITS,
+};
 use crate::kv_cache::KvCache;
 use crate::lora::LoraAdapter;
 use crate::ops::{rmsnorm_into, softmax, softmax_in_place, swiglu_in_place, topk_into};
+use crate::reference::PrefillStats;
 use crate::sampler::Sampler;
-use crate::scratch::Scratch;
+use crate::scratch::{Scratch, MAX_PREFILL_PANEL};
 use crate::tensor::{add_assign, dot};
 use hnlpu_model::{ModelWeights, PackedFp4Matrix, TransformerConfig};
 
 /// Chip-grid dimension (the paper's 4×4 fabric).
 pub const GRID: usize = 4;
+
+// `col_project` models the four chips of a column with the row-partitioned
+// matvec kernel; its fixed split count must equal the grid dimension for
+// the split boundaries to be the chips' row slices.
+const _: () = assert!(ROW_SPLITS == GRID, "row splits must match the chip grid");
 
 /// Collective-communication counters, per executor run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -329,6 +338,7 @@ impl DataflowExecutor {
             delta,
             lora_hidden,
             rope,
+            partials,
             ..
         } = scratch;
 
@@ -349,7 +359,7 @@ impl DataflowExecutor {
         // row slice of X and its column's slice of Wq; column all-reduce.
         for col in 0..GRID {
             let q_col = &mut q[col * q_per_col..(col + 1) * q_per_col];
-            col_project(xn, &w.wq, col, q_per_col, row_slice, partial, q_col, comm);
+            col_project(xn, &w.wq, col, q_per_col, partials, q_col, comm);
             if has_adapter {
                 for (qv, d) in q_col
                     .iter_mut()
@@ -359,9 +369,9 @@ impl DataflowExecutor {
                 }
             }
             let k_col = &mut k[col * kv_per_col..(col + 1) * kv_per_col];
-            col_project(xn, &w.wk, col, kv_per_col, row_slice, partial, k_col, comm);
+            col_project(xn, &w.wk, col, kv_per_col, partials, k_col, comm);
             let v_col = &mut v[col * kv_per_col..(col + 1) * kv_per_col];
-            col_project(xn, &w.wv, col, kv_per_col, row_slice, partial, v_col, comm);
+            col_project(xn, &w.wv, col, kv_per_col, partials, v_col, comm);
         }
         // K and V land on chip (position mod 4) of each column ((III)).
         rope.prepare(position);
@@ -389,6 +399,7 @@ impl DataflowExecutor {
                 &q[col * q_per_col..(col + 1) * q_per_col],
                 layer,
                 &kv[col],
+                position + 1,
                 q_heads_per_col,
                 group,
                 hd,
@@ -488,9 +499,7 @@ impl DataflowExecutor {
         assert!(!prompt.is_empty(), "prompt must contain at least one token");
         let mut state = self.new_state();
         let mut scratch = self.new_scratch();
-        for &t in prompt {
-            self.step_with(t, &mut state, &mut scratch);
-        }
+        self.prefill_with(prompt, &mut state, &mut scratch, true);
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let next = sampler.sample(scratch.logits());
@@ -502,48 +511,451 @@ impl DataflowExecutor {
         }
         (out, state.comm)
     }
+
+    /// Prefill `tokens` through the 16-chip machine in matmul panels of up
+    /// to [`MAX_PREFILL_PANEL`] tokens. The KV shards, residuals, and
+    /// (when `want_logits`) final logits are bit-identical to a
+    /// [`step_with`](Self::step_with) loop; the communication schedule is
+    /// identical except that only the last panel's final token is
+    /// unembedded (one vocabulary all-gather per prefill instead of one
+    /// per token).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an out-of-vocabulary id.
+    pub fn prefill_with(
+        &self,
+        tokens: &[u32],
+        state: &mut DataflowState,
+        scratch: &mut Scratch,
+        want_logits: bool,
+    ) -> PrefillStats {
+        self.prefill_chunked(tokens, state, scratch, MAX_PREFILL_PANEL, want_logits)
+    }
+
+    /// As [`prefill_with`](Self::prefill_with) with an explicit panel
+    /// width `panel` (clamped to `1..=MAX_PREFILL_PANEL`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an out-of-vocabulary id.
+    pub fn prefill_chunked(
+        &self,
+        tokens: &[u32],
+        state: &mut DataflowState,
+        scratch: &mut Scratch,
+        panel: usize,
+        want_logits: bool,
+    ) -> PrefillStats {
+        assert!(!tokens.is_empty(), "prompt must contain at least one token");
+        let panel = panel.clamp(1, MAX_PREFILL_PANEL);
+        let mut stats = PrefillStats::default();
+        let mut consumed = 0;
+        while consumed < tokens.len() {
+            let end = (consumed + panel).min(tokens.len());
+            let chunk = &tokens[consumed..end];
+            consumed = end;
+            let logits_now = want_logits && consumed == tokens.len();
+            self.prefill_panel_with(chunk, state, scratch, logits_now);
+            stats.panels += 1;
+            stats.max_panel = stats.max_panel.max(chunk.len());
+        }
+        stats
+    }
+
+    /// Run one panel of ≤ [`MAX_PREFILL_PANEL`] tokens through every layer
+    /// of the machine.
+    // analyze: hot
+    fn prefill_panel_with(
+        &self,
+        tokens: &[u32],
+        state: &mut DataflowState,
+        scratch: &mut Scratch,
+        want_logits: bool,
+    ) {
+        let c = *self.config();
+        let h = c.hidden_size;
+        let t = tokens.len();
+        debug_assert!(t <= MAX_PREFILL_PANEL);
+        // Embedding lookup is local on every chip (replicated dictionary).
+        for (tt, &tok) in tokens.iter().enumerate() {
+            assert!((tok as usize) < c.vocab_size, "token out of vocabulary");
+            scratch.xp[tt * h..(tt + 1) * h]
+                .copy_from_slice(&self.weights.embedding[tok as usize * h..(tok as usize + 1) * h]);
+        }
+        let base = state.position;
+        for layer in 0..c.num_layers {
+            self.panel_block_with(layer, base, t, &mut state.kv, &mut state.comm, scratch);
+        }
+        state.position += t;
+        if want_logits {
+            // Unembed only the panel's last token: each chip produces its
+            // vocabulary shard, all-gathered once.
+            let Scratch { xp, xn, logits, .. } = scratch;
+            rmsnorm_into(&xp[(t - 1) * h..t * h], xn);
+            let chips = GRID * GRID;
+            let shard = c.vocab_size.div_ceil(chips);
+            for chip in 0..chips {
+                let lo = chip * shard;
+                let hi = ((chip + 1) * shard).min(c.vocab_size);
+                for (tok, logit) in logits[lo..hi]
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, l)| (lo + i, l))
+                {
+                    *logit = dot(xn, &self.weights.embedding[tok * h..(tok + 1) * h]);
+                }
+            }
+            state.comm.all_gathers += 1;
+            state.comm.bytes += c.vocab_size as u64 * 4;
+        }
+    }
+
+    /// One transformer block over a `t`-token panel starting at context
+    /// position `base`: reads the residual panel from `scratch.xp`, writes
+    /// the updated panel back into it. Per token this performs exactly the
+    /// chip-level operations of [`block_with`](Self::block_with) — each
+    /// chip's partial product goes through the bit-identical matmul
+    /// kernels, the column reductions add partials in the same chip
+    /// order, and attention/RoPE/MoE math runs per token on the same
+    /// values — so KV shards and residuals are bit-equal to a per-token
+    /// loop, for every chunking. Communication counters advance by the
+    /// per-token schedule times `t`.
+    // analyze: hot
+    #[allow(clippy::too_many_arguments)]
+    fn panel_block_with(
+        &self,
+        layer: usize,
+        base: usize,
+        t: usize,
+        kv: &mut [Vec<KvCache>],
+        comm: &mut CommCounters,
+        scratch: &mut Scratch,
+    ) {
+        let c = *self.config();
+        let w = &self.weights.layers[layer];
+        let h = c.hidden_size;
+        let hd = c.attention.head_dim;
+        let qw = c.attention.q_width();
+        let kvw = c.attention.kv_width();
+        let q_per_col = qw / GRID;
+        let kv_per_col = kvw / GRID;
+        let kv_heads_per_col = c.attention.num_kv_heads / GRID;
+        let q_heads_per_col = c.attention.num_query_heads / GRID;
+        let group = c.attention.group_size();
+        let row_slice = h / GRID;
+        let inter = c.moe.intermediate_size;
+        let n_experts = c.moe.num_experts;
+        let k_experts = c.moe.experts_per_token;
+        let Scratch {
+            y,
+            scores,
+            flash_acc,
+            numer,
+            chosen,
+            expert_w,
+            delta,
+            lora_hidden,
+            rope,
+            xp,
+            xnp,
+            xop,
+            qp,
+            kp,
+            vp,
+            attnp,
+            partp,
+            routerp,
+            chosenp,
+            expertwp,
+            gatherp,
+            upp,
+            gatep,
+            stagep,
+            gidx,
+            ..
+        } = scratch;
+
+        for tt in 0..t {
+            rmsnorm_into(&xp[tt * h..(tt + 1) * h], &mut xnp[tt * h..(tt + 1) * h]);
+        }
+
+        // (II) Projections: chip (r, col) runs one T-wide matmul over its
+        // row slice of the panel; per token the column all-reduces the
+        // four partials in chip order.
+        for col in 0..GRID {
+            col_project_panel(
+                xnp, h, t, &w.wq, col, q_per_col, row_slice, partp, qp, qw, comm,
+            );
+        }
+        if let Some(adapter) = &self.q_adapters[layer] {
+            // Field-programmable side-channel: the rank-r delta is computed
+            // once per token (every chip would hold the identical value)
+            // and each column adds its slice — no extra communication.
+            for tt in 0..t {
+                adapter.delta_into(&xnp[tt * h..(tt + 1) * h], lora_hidden, delta);
+                add_assign(&mut qp[tt * qw..(tt + 1) * qw], delta);
+            }
+        }
+        for col in 0..GRID {
+            col_project_panel(
+                xnp, h, t, &w.wk, col, kv_per_col, row_slice, partp, kp, kvw, comm,
+            );
+            col_project_panel(
+                xnp, h, t, &w.wv, col, kv_per_col, row_slice, partp, vp, kvw, comm,
+            );
+        }
+
+        // (III) RoPE + KV landing: token `base + tt` lands on chip
+        // ((base + tt) mod 4) of each column, exactly as in decode.
+        for tt in 0..t {
+            rope.prepare(base + tt);
+            for col in 0..GRID {
+                comm.reduces += 2;
+                comm.bytes += 2 * (kv_per_col as u64) * 4;
+                for head in 0..q_heads_per_col {
+                    rope.apply(&mut qp[tt * qw + col * q_per_col + head * hd..][..hd]);
+                }
+                for head in 0..kv_heads_per_col {
+                    rope.apply(&mut kp[tt * kvw + col * kv_per_col + head * hd..][..hd]);
+                }
+                let owner = (base + tt) % GRID;
+                kv[col][owner].append(
+                    layer,
+                    &kp[tt * kvw + col * kv_per_col..][..kv_per_col],
+                    &vp[tt * kvw + col * kv_per_col..][..kv_per_col],
+                );
+            }
+        }
+
+        // (IV, V) Attention: the whole panel's KV is cached, so each
+        // token masks itself to its causal prefix via `ctx`.
+        for tt in 0..t {
+            for col in 0..GRID {
+                column_attention(
+                    &qp[tt * qw + col * q_per_col..][..q_per_col],
+                    layer,
+                    &kv[col],
+                    base + tt + 1,
+                    q_heads_per_col,
+                    group,
+                    hd,
+                    scores,
+                    flash_acc,
+                    numer,
+                    &mut attnp[tt * qw + col * q_per_col..][..q_per_col],
+                    comm,
+                );
+            }
+        }
+
+        // (VI) Output projection: per token, row all-reduces in chip
+        // order then a column all-gather — the per-token schedule × t.
+        for r in 0..GRID {
+            for tt in 0..t {
+                xop[tt * h + r * row_slice..][..row_slice].fill(0.0);
+            }
+            let part = &mut partp[..t * row_slice];
+            for col in 0..GRID {
+                matmul_block_into(
+                    &attnp[col * q_per_col..],
+                    qw,
+                    t,
+                    &w.wo,
+                    col * q_per_col,
+                    q_per_col,
+                    r * row_slice..(r + 1) * row_slice,
+                    part,
+                    row_slice,
+                );
+                for tt in 0..t {
+                    add_assign(
+                        &mut xop[tt * h + r * row_slice..][..row_slice],
+                        &part[tt * row_slice..(tt + 1) * row_slice],
+                    );
+                }
+            }
+            comm.all_reduces += t as u64;
+            comm.bytes += (t * row_slice) as u64 * 4;
+        }
+        comm.all_gathers += t as u64;
+        comm.bytes += (t * h) as u64 * 4;
+        for tt in 0..t {
+            // first residual (local on every chip)
+            add_assign(&mut xop[tt * h..(tt + 1) * h], &xp[tt * h..(tt + 1) * h]);
+        }
+
+        // (VII) Router: weights replicated on all chips, no communication.
+        for tt in 0..t {
+            rmsnorm_into(&xop[tt * h..(tt + 1) * h], &mut xnp[tt * h..(tt + 1) * h]);
+        }
+        matmul_into(xnp, h, t, &w.router, routerp, n_experts);
+        for tt in 0..t {
+            topk_into(
+                &routerp[tt * n_experts..(tt + 1) * n_experts],
+                k_experts,
+                chosen,
+            );
+            expert_w.clear();
+            expert_w.extend(
+                chosen
+                    .iter()
+                    .map(|&e| routerp[tt * n_experts..(tt + 1) * n_experts][e]),
+            );
+            softmax_in_place(expert_w);
+            chosenp[tt * k_experts..(tt + 1) * k_experts].copy_from_slice(chosen);
+            expertwp[tt * k_experts..(tt + 1) * k_experts].copy_from_slice(expert_w);
+        }
+
+        // (VIII) Experts, grouped: every token routed to expert `e` is
+        // gathered into one panel so the owning chip runs three matmuls
+        // per touched expert instead of three matvecs per (token, slot).
+        for e in 0..n_experts {
+            gidx.clear();
+            for tt in 0..t {
+                for s in 0..k_experts {
+                    if chosenp[tt * k_experts + s] == e {
+                        gidx.push(tt * k_experts + s);
+                    }
+                }
+            }
+            if gidx.is_empty() {
+                continue;
+            }
+            let g = gidx.len();
+            for (gi, &slot) in gidx.iter().enumerate() {
+                let tt = slot / k_experts;
+                gatherp[gi * h..(gi + 1) * h].copy_from_slice(&xnp[tt * h..(tt + 1) * h]);
+            }
+            matmul_into(&gatherp[..g * h], h, g, &w.up[e], upp, inter);
+            matmul_into(&gatherp[..g * h], h, g, &w.gate[e], gatep, inter);
+            for gi in 0..g {
+                let (gate_row, up_row) = (
+                    &mut gatep[gi * inter..(gi + 1) * inter],
+                    &upp[gi * inter..(gi + 1) * inter],
+                );
+                swiglu_in_place(gate_row, up_row);
+            }
+            matmul_into(&gatep[..g * inter], inter, g, &w.down[e], gatherp, h);
+            for (gi, &slot) in gidx.iter().enumerate() {
+                stagep[slot * h..(slot + 1) * h].copy_from_slice(&gatherp[gi * h..(gi + 1) * h]);
+            }
+        }
+        // (IX) Replay each token's mixture in chip order (chip i owns
+        // experts [i*E/16, (i+1)*E/16)), slot order within a chip —
+        // the exact accumulation order of the per-token all-chip
+        // all-reduce, bit for bit.
+        let experts_per_chip = n_experts / (GRID * GRID);
+        for tt in 0..t {
+            y.fill(0.0);
+            for chip in 0..GRID * GRID {
+                let lo = chip * experts_per_chip;
+                let hi = lo + experts_per_chip;
+                for s in 0..k_experts {
+                    let slot = tt * k_experts + s;
+                    let e = chosenp[slot];
+                    if e < lo || e >= hi {
+                        continue;
+                    }
+                    let ew = expertwp[slot];
+                    for (yo, &d) in y.iter_mut().zip(stagep[slot * h..(slot + 1) * h].iter()) {
+                        *yo += ew * d;
+                    }
+                }
+            }
+            add_assign(y, &xop[tt * h..(tt + 1) * h]); // second residual
+            xp[tt * h..(tt + 1) * h].copy_from_slice(y);
+        }
+        comm.all_chip_all_reduces += t as u64;
+        comm.bytes += (t * h) as u64 * 4;
+    }
 }
 
 /// Column projection with partial sums: each of the 4 chips of `col`
 /// multiplies its row slice of `x` against its block of the packed matrix;
-/// the column all-reduce sums the partials.
+/// the column all-reduce sums the partials. The four chips are the four
+/// fixed splits of [`matvec_rows_split_into`], so on large models the
+/// `parallel` build runs them on real worker threads — and the
+/// deterministic zero-then-add reduction keeps the result bit-identical
+/// to the serial chip loop either way.
 // analyze: hot
-#[allow(clippy::too_many_arguments)]
 fn col_project(
     x: &[f32],
     m: &PackedFp4Matrix,
     col: usize,
     per_col: usize,
-    row_slice: usize,
-    partial: &mut [f32],
+    partials: &mut [f32],
     acc: &mut [f32],
     comm: &mut CommCounters,
 ) {
-    acc.fill(0.0);
-    let part = &mut partial[..per_col];
-    for r in 0..GRID {
-        matvec_block_into(
-            &x[r * row_slice..(r + 1) * row_slice],
-            m,
-            r * row_slice,
-            col * per_col..(col + 1) * per_col,
-            part,
-        );
-        add_assign(acc, part);
-    }
+    matvec_rows_split_into(x, m, col * per_col..(col + 1) * per_col, acc, partials);
     comm.all_reduces += 1;
     comm.bytes += per_col as u64 * 4;
+}
+
+/// Panel variant of [`col_project`]: chip `(r, col)` runs one T-wide
+/// matmul over its row slice of the activation panel, and each token's
+/// four partial rows are summed in chip order — the same
+/// zero-then-add-in-order reduction as the per-token column all-reduce,
+/// so every token's output is bit-equal to [`col_project`]'s.
+// analyze: hot
+#[allow(clippy::too_many_arguments)]
+fn col_project_panel(
+    xs: &[f32],
+    x_stride: usize,
+    t: usize,
+    m: &PackedFp4Matrix,
+    col: usize,
+    per_col: usize,
+    row_slice: usize,
+    partp: &mut [f32],
+    outs: &mut [f32],
+    out_stride: usize,
+    comm: &mut CommCounters,
+) {
+    for tt in 0..t {
+        outs[tt * out_stride + col * per_col..tt * out_stride + (col + 1) * per_col].fill(0.0);
+    }
+    let part = &mut partp[..t * per_col];
+    for r in 0..GRID {
+        matmul_block_into(
+            &xs[r * row_slice..],
+            x_stride,
+            t,
+            m,
+            r * row_slice,
+            row_slice,
+            col * per_col..(col + 1) * per_col,
+            part,
+            per_col,
+        );
+        for tt in 0..t {
+            add_assign(
+                &mut outs[tt * out_stride + col * per_col..][..per_col],
+                &part[tt * per_col..(tt + 1) * per_col],
+            );
+        }
+    }
+    comm.all_reduces += t as u64;
+    comm.bytes += (t * per_col) as u64 * 4;
 }
 
 /// Flash-style column attention: each chip computes running-max statistics
 /// over its quarter of the context into its `flash_acc` block; the column
 /// all-reduce combines them exactly, in chip order.
+///
+/// `ctx` is the number of context positions the query may see (causal:
+/// `position + 1`). Chip `chip` holds positions `p % 4 == chip`, so it
+/// contributes `ceil((ctx - chip) / 4)` of them — during panel prefill
+/// the whole panel's KV is already cached, and `ctx` is what masks each
+/// token down to its causal prefix.
 // analyze: hot
 #[allow(clippy::too_many_arguments)]
 fn column_attention(
     q_col: &[f32],
     layer: usize,
     col_kv: &[KvCache],
+    ctx: usize,
     q_heads_per_col: usize,
     group: usize,
     hd: usize,
@@ -562,7 +974,12 @@ fn column_attention(
         let mut sums = [0.0f32; GRID];
         let mut present = [false; GRID];
         for (chip, cache) in col_kv.iter().enumerate() {
-            let positions = cache.len();
+            let positions = if ctx > chip {
+                (ctx - chip).div_ceil(GRID)
+            } else {
+                0
+            };
+            debug_assert!(positions <= cache.len());
             if positions == 0 {
                 continue;
             }
@@ -758,6 +1175,89 @@ mod tests {
         let a = reference.generate_greedy(&[7, 11], 10);
         let b = hnlpu.generate_greedy(&[7, 11], 10);
         assert_eq!(a, b, "LoRA-adapted machines must still agree");
+    }
+
+    #[test]
+    fn panel_prefill_is_bitwise_per_token_loop() {
+        let hnlpu = DataflowExecutor::new(weights());
+        let prompt: Vec<u32> = (0..19u32).map(|i| (i * 11 + 3) % 100).collect();
+        let mut ls = hnlpu.new_state();
+        let mut lscratch = hnlpu.new_scratch();
+        for &t in &prompt {
+            hnlpu.step_with(t, &mut ls, &mut lscratch);
+        }
+        let mut ps = hnlpu.new_state();
+        let mut pscratch = hnlpu.new_scratch();
+        let stats = hnlpu.prefill_with(&prompt, &mut ps, &mut pscratch, true);
+        assert_eq!(stats.panels, 1);
+        assert_eq!(stats.max_panel, prompt.len());
+        assert_eq!(lscratch.logits(), pscratch.logits());
+        assert_eq!(ps.position(), prompt.len());
+        // Every KV shard is bit-identical.
+        let layers = hnlpu.config().num_layers;
+        let heads_per_col = hnlpu.config().attention.num_kv_heads / GRID;
+        for col in 0..GRID {
+            for chip in 0..GRID {
+                let (a, b) = (ls.kv_shard(col, chip), ps.kv_shard(col, chip));
+                assert_eq!(a.len(), b.len(), "shard ({col},{chip}) length");
+                for layer in 0..layers {
+                    for p in 0..a.len() {
+                        for head in 0..heads_per_col {
+                            assert_eq!(a.key(layer, p, head), b.key(layer, p, head));
+                            assert_eq!(a.value(layer, p, head), b.value(layer, p, head));
+                        }
+                    }
+                }
+            }
+        }
+        // The comm schedule is the per-token one, except the unembedding
+        // all-gather fires once per prefill instead of once per token.
+        let p = prompt.len() as u64;
+        assert_eq!(ls.comm.all_reduces, ps.comm.all_reduces);
+        assert_eq!(ls.comm.reduces, ps.comm.reduces);
+        assert_eq!(ls.comm.all_chip_all_reduces, ps.comm.all_chip_all_reduces);
+        let vocab = hnlpu.config().vocab_size as u64;
+        assert_eq!(ls.comm.all_gathers, ps.comm.all_gathers + p - 1);
+        assert_eq!(ls.comm.bytes, ps.comm.bytes + (p - 1) * vocab * 4);
+    }
+
+    #[test]
+    fn prefill_is_chunking_invariant() {
+        let hnlpu = DataflowExecutor::new(weights());
+        let prompt: Vec<u32> = (0..27u32).map(|i| (i * 5 + 2) % 100).collect();
+        let mut want: Option<Vec<f32>> = None;
+        for panel in [1usize, 4, 64] {
+            let mut state = hnlpu.new_state();
+            let mut scratch = hnlpu.new_scratch();
+            let stats = hnlpu.prefill_chunked(&prompt, &mut state, &mut scratch, panel, true);
+            assert_eq!(stats.panels as usize, prompt.len().div_ceil(panel));
+            match &want {
+                None => want = Some(scratch.logits().to_vec()),
+                Some(w) => assert_eq!(w.as_slice(), scratch.logits(), "panel {panel}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lora_adapted_panel_prefill_matches_step_loop() {
+        use crate::lora::LoraAdapter;
+        let w = weights();
+        let c = w.config;
+        let mut hnlpu = DataflowExecutor::new(w);
+        hnlpu.set_q_adapter(
+            1,
+            LoraAdapter::seeded(c.hidden_size, c.attention.q_width(), 4, 6.0, 5),
+        );
+        let prompt = [7u32, 11, 13, 17, 19, 23];
+        let mut ls = hnlpu.new_state();
+        let mut lscratch = hnlpu.new_scratch();
+        for &t in &prompt {
+            hnlpu.step_with(t, &mut ls, &mut lscratch);
+        }
+        let mut ps = hnlpu.new_state();
+        let mut pscratch = hnlpu.new_scratch();
+        hnlpu.prefill_with(&prompt, &mut ps, &mut pscratch, true);
+        assert_eq!(lscratch.logits(), pscratch.logits());
     }
 
     #[test]

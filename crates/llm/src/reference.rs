@@ -7,14 +7,34 @@
 //! arena ([`step_with`](Transformer::step_with)). The allocating entry
 //! points ([`step`](Transformer::step) etc.) remain as thin wrappers.
 
-use crate::kernels::matvec_into;
+use crate::kernels::{matmul_into, matvec_into, matvec_rows_parallel_into};
 use crate::kv_cache::KvCache;
 use crate::lora::LoraAdapter;
 use crate::ops::{rmsnorm_into, softmax, softmax_in_place, swiglu_in_place, topk_into};
 use crate::sampler::{argmax, Sampler};
-use crate::scratch::Scratch;
+use crate::scratch::{Scratch, MAX_PREFILL_PANEL};
 use crate::tensor::{add_assign, dot};
 use hnlpu_model::{ModelWeights, TransformerConfig};
+
+/// How a prompt was consumed by a panel-prefill call: how many matmul
+/// panels ran and the widest one. Aggregated into
+/// [`crate::batch::BatchRunReport`] so degenerate T=1 panel streams are
+/// observable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefillStats {
+    /// Matmul panels executed.
+    pub panels: u64,
+    /// Tokens in the widest panel.
+    pub max_panel: usize,
+}
+
+impl PrefillStats {
+    /// Fold another chunk run into this one.
+    pub fn merge(&mut self, other: PrefillStats) {
+        self.panels += other.panels;
+        self.max_panel = self.max_panel.max(other.max_panel);
+    }
+}
 
 /// The reference decoder.
 #[derive(Debug, Clone)]
@@ -165,6 +185,273 @@ impl Transformer {
         pooled
     }
 
+    /// Panel prefill: consume `tokens` through the multi-token matmul
+    /// kernels, chunked into panels of at most
+    /// [`MAX_PREFILL_PANEL`] tokens. Appends every token's KV exactly as a
+    /// [`step_with`](Self::step_with) loop would — **bit-identically**, see
+    /// [`crate::kernels::matmul_block_into`] — but reads each packed weight
+    /// byte once per panel instead of once per token, and computes logits
+    /// (into `scratch.logits()`) only for the final token, and only when
+    /// `want_logits` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an out-of-vocabulary id.
+    pub fn prefill_with(
+        &self,
+        tokens: &[u32],
+        cache: &mut KvCache,
+        scratch: &mut Scratch,
+        want_logits: bool,
+    ) -> PrefillStats {
+        self.prefill_chunked(tokens, cache, scratch, MAX_PREFILL_PANEL, want_logits)
+    }
+
+    /// As [`prefill_with`](Self::prefill_with) with an explicit panel
+    /// width `panel` (clamped to `1..=MAX_PREFILL_PANEL`) — the knob the
+    /// prefill-throughput sweep in `hnlpu-bench` turns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an out-of-vocabulary id.
+    pub fn prefill_chunked(
+        &self,
+        tokens: &[u32],
+        cache: &mut KvCache,
+        scratch: &mut Scratch,
+        panel: usize,
+        want_logits: bool,
+    ) -> PrefillStats {
+        assert!(!tokens.is_empty(), "prompt must contain at least one token");
+        let panel = panel.clamp(1, MAX_PREFILL_PANEL);
+        let mut stats = PrefillStats::default();
+        let mut consumed = 0;
+        while consumed < tokens.len() {
+            let end = (consumed + panel).min(tokens.len());
+            let chunk = &tokens[consumed..end];
+            consumed = end;
+            let logits_now = want_logits && consumed == tokens.len();
+            self.prefill_panel_with(chunk, cache, scratch, logits_now);
+            stats.panels += 1;
+            stats.max_panel = stats.max_panel.max(chunk.len());
+        }
+        stats
+    }
+
+    /// Run one panel of ≤ `MAX_PREFILL_PANEL` tokens through every layer.
+    // analyze: hot
+    fn prefill_panel_with(
+        &self,
+        tokens: &[u32],
+        cache: &mut KvCache,
+        scratch: &mut Scratch,
+        want_logits: bool,
+    ) {
+        let c = *self.config();
+        let h = c.hidden_size;
+        let t = tokens.len();
+        debug_assert!(t <= MAX_PREFILL_PANEL);
+        for (tt, &tok) in tokens.iter().enumerate() {
+            assert!((tok as usize) < c.vocab_size, "token out of vocabulary");
+            scratch.xp[tt * h..(tt + 1) * h]
+                .copy_from_slice(&self.weights.embedding[tok as usize * h..(tok as usize + 1) * h]);
+        }
+        let base = cache.len();
+        for layer in 0..c.num_layers {
+            self.panel_block_with(layer, base, t, cache, scratch);
+        }
+        if want_logits {
+            let Scratch { xp, xn, logits, .. } = scratch;
+            rmsnorm_into(&xp[(t - 1) * h..t * h], xn);
+            for (tok, l) in logits.iter_mut().enumerate() {
+                *l = dot(xn, &self.weights.embedding[tok * h..(tok + 1) * h]);
+            }
+        }
+    }
+
+    /// One transformer block over a `t`-token panel starting at context
+    /// position `base`: reads the residual panel from `scratch.xp`, writes
+    /// the updated panel back into it. Per token this performs exactly the
+    /// operations of [`block_with`](Self::block_with) — projections go
+    /// through the bit-identical matmul kernels, attention/RoPE/MoE math
+    /// runs per token in the same order on the same values — so the KV
+    /// entries and residuals it produces are bit-equal to a per-token
+    /// loop, for every chunking.
+    // analyze: hot
+    fn panel_block_with(
+        &self,
+        layer: usize,
+        base: usize,
+        t: usize,
+        cache: &mut KvCache,
+        scratch: &mut Scratch,
+    ) {
+        let c = *self.config();
+        let w = &self.weights.layers[layer];
+        let h = c.hidden_size;
+        let (hd, qh, kvh) = (
+            c.attention.head_dim,
+            c.attention.num_query_heads,
+            c.attention.num_kv_heads,
+        );
+        let qw = c.attention.q_width();
+        let kvw = c.attention.kv_width();
+        let group = c.attention.group_size();
+        let inter = c.moe.intermediate_size;
+        let n_experts = c.moe.num_experts;
+        let k_experts = c.moe.experts_per_token;
+        let Scratch {
+            y,
+            scores,
+            chosen,
+            expert_w,
+            delta,
+            lora_hidden,
+            rope,
+            xp,
+            xnp,
+            xop,
+            qp,
+            kp,
+            vp,
+            attnp,
+            routerp,
+            chosenp,
+            expertwp,
+            gatherp,
+            upp,
+            gatep,
+            stagep,
+            gidx,
+            ..
+        } = scratch;
+
+        // --- Attention ---
+        for tt in 0..t {
+            rmsnorm_into(&xp[tt * h..(tt + 1) * h], &mut xnp[tt * h..(tt + 1) * h]);
+        }
+        matmul_into(xnp, h, t, &w.wq, qp, qw);
+        if let Some(adapter) = &self.q_adapters[layer] {
+            for tt in 0..t {
+                adapter.delta_into(&xnp[tt * h..(tt + 1) * h], lora_hidden, delta);
+                add_assign(&mut qp[tt * qw..(tt + 1) * qw], delta);
+            }
+        }
+        matmul_into(xnp, h, t, &w.wk, kp, kvw);
+        matmul_into(xnp, h, t, &w.wv, vp, kvw);
+        for tt in 0..t {
+            rope.prepare(base + tt);
+            for head in 0..qh {
+                rope.apply(&mut qp[tt * qw + head * hd..][..hd]);
+            }
+            for head in 0..kvh {
+                rope.apply(&mut kp[tt * kvw + head * hd..][..hd]);
+            }
+            cache.append(
+                layer,
+                &kp[tt * kvw..(tt + 1) * kvw],
+                &vp[tt * kvw..(tt + 1) * kvw],
+            );
+        }
+        let scale = 1.0 / (hd as f32).sqrt();
+        attnp[..t * qw].fill(0.0);
+        for tt in 0..t {
+            // Causal: token `tt` sees positions `0 ..= base + tt`, even
+            // though the whole panel's KV is already appended.
+            let ctx = base + tt + 1;
+            for head in 0..qh {
+                let kv_head = head / group;
+                let qh_vec = &qp[tt * qw + head * hd..][..hd];
+                scores.clear();
+                scores.extend((0..ctx).map(|p| dot(qh_vec, cache.key(layer, p, kv_head)) * scale));
+                softmax_in_place(scores);
+                let out = &mut attnp[tt * qw + head * hd..][..hd];
+                for (p, &pr) in scores.iter().enumerate() {
+                    let val = cache.value(layer, p, kv_head);
+                    for (o, &vv) in out.iter_mut().zip(val.iter()) {
+                        *o += pr * vv;
+                    }
+                }
+            }
+        }
+        matmul_into(attnp, qw, t, &w.wo, xop, h);
+        for tt in 0..t {
+            add_assign(&mut xop[tt * h..(tt + 1) * h], &xp[tt * h..(tt + 1) * h]);
+        }
+
+        // --- MoE FFN ---
+        for tt in 0..t {
+            rmsnorm_into(&xop[tt * h..(tt + 1) * h], &mut xnp[tt * h..(tt + 1) * h]);
+        }
+        matmul_into(xnp, h, t, &w.router, routerp, n_experts);
+        for tt in 0..t {
+            topk_into(
+                &routerp[tt * n_experts..(tt + 1) * n_experts],
+                k_experts,
+                chosen,
+            );
+            expert_w.clear();
+            expert_w.extend(
+                chosen
+                    .iter()
+                    .map(|&e| routerp[tt * n_experts..(tt + 1) * n_experts][e]),
+            );
+            softmax_in_place(expert_w);
+            chosenp[tt * k_experts..(tt + 1) * k_experts].copy_from_slice(chosen);
+            expertwp[tt * k_experts..(tt + 1) * k_experts].copy_from_slice(expert_w);
+        }
+        // Expert-grouped panels: gather every token routed to expert `e`,
+        // run the expert's three projections as one matmul each, and stage
+        // the down outputs per (token, chosen slot).
+        for e in 0..n_experts {
+            gidx.clear();
+            for tt in 0..t {
+                for s in 0..k_experts {
+                    if chosenp[tt * k_experts + s] == e {
+                        gidx.push(tt * k_experts + s);
+                    }
+                }
+            }
+            if gidx.is_empty() {
+                continue;
+            }
+            let g = gidx.len();
+            for (gi, &slot) in gidx.iter().enumerate() {
+                let tt = slot / k_experts;
+                gatherp[gi * h..(gi + 1) * h].copy_from_slice(&xnp[tt * h..(tt + 1) * h]);
+            }
+            matmul_into(&gatherp[..g * h], h, g, &w.up[e], upp, inter);
+            matmul_into(&gatherp[..g * h], h, g, &w.gate[e], gatep, inter);
+            for gi in 0..g {
+                let (gate_row, up_row) = (
+                    &mut gatep[gi * inter..(gi + 1) * inter],
+                    &upp[gi * inter..(gi + 1) * inter],
+                );
+                swiglu_in_place(gate_row, up_row);
+            }
+            // The group's activations are no longer needed, so the down
+            // outputs overwrite `gatherp` before scattering to the stage.
+            matmul_into(&gatep[..g * inter], inter, g, &w.down[e], gatherp, h);
+            for (gi, &slot) in gidx.iter().enumerate() {
+                stagep[slot * h..(slot + 1) * h].copy_from_slice(&gatherp[gi * h..(gi + 1) * h]);
+            }
+        }
+        // Replay each token's expert mixture in its original chosen order,
+        // reproducing the per-token accumulation bit for bit.
+        for tt in 0..t {
+            y.fill(0.0);
+            for s in 0..k_experts {
+                let slot = tt * k_experts + s;
+                let ew = expertwp[slot];
+                for (yo, &d) in y.iter_mut().zip(stagep[slot * h..(slot + 1) * h].iter()) {
+                    *yo += ew * d;
+                }
+            }
+            add_assign(y, &xop[tt * h..(tt + 1) * h]);
+            xp[tt * h..(tt + 1) * h].copy_from_slice(y);
+        }
+    }
+
     /// One transformer block: reads the residual from `scratch.x`, writes
     /// the updated residual back into it.
     fn block_with(
@@ -201,18 +488,19 @@ impl Transformer {
             delta,
             lora_hidden,
             rope,
+            partials,
             ..
         } = scratch;
 
         // --- Attention ---
         rmsnorm_into(x, xn);
-        matvec_into(xn, &w.wq, q);
+        matvec_rows_parallel_into(xn, &w.wq, q, partials);
         if let Some(adapter) = &self.q_adapters[layer] {
             adapter.delta_into(xn, lora_hidden, delta);
             add_assign(q, delta);
         }
-        matvec_into(xn, &w.wk, k);
-        matvec_into(xn, &w.wv, v);
+        matvec_rows_parallel_into(xn, &w.wk, k, partials);
+        matvec_rows_parallel_into(xn, &w.wv, v, partials);
         rope.prepare(position);
         for head in 0..qh {
             rope.apply(&mut q[head * hd..(head + 1) * hd]);
@@ -239,7 +527,7 @@ impl Transformer {
                 }
             }
         }
-        matvec_into(attn, &w.wo, xo);
+        matvec_rows_parallel_into(attn, &w.wo, xo, partials);
         add_assign(xo, x); // first residual
 
         // --- MoE FFN ---
@@ -252,10 +540,10 @@ impl Transformer {
 
         y.fill(0.0);
         for (&expert, &ew) in chosen.iter().zip(expert_w.iter()) {
-            matvec_into(xn, &w.up[expert], up);
-            matvec_into(xn, &w.gate[expert], gate);
+            matvec_rows_parallel_into(xn, &w.up[expert], up, partials);
+            matvec_rows_parallel_into(xn, &w.gate[expert], gate, partials);
             swiglu_in_place(gate, up);
-            matvec_into(gate, &w.down[expert], down);
+            matvec_rows_parallel_into(gate, &w.down[expert], down, partials);
             for (yo, &d) in y.iter_mut().zip(down.iter()) {
                 *yo += ew * d;
             }
@@ -292,9 +580,7 @@ impl Transformer {
         assert!(!prompt.is_empty(), "prompt must contain at least one token");
         let mut cache = self.new_cache();
         let mut scratch = self.new_scratch();
-        for &t in prompt {
-            self.step_with(t, &mut cache, &mut scratch);
-        }
+        self.prefill_with(prompt, &mut cache, &mut scratch, true);
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let next = sampler.sample(scratch.logits());
@@ -460,5 +746,101 @@ mod tests {
     #[should_panic(expected = "prompt must contain")]
     fn empty_prompt_rejected() {
         model().generate_greedy(&[], 3);
+    }
+
+    #[test]
+    fn panel_prefill_is_bitwise_per_token_loop() {
+        // The tentpole contract: the multi-token matmul prefill appends
+        // the same KV and produces the same final logits as a step_with
+        // loop, bit for bit.
+        let m = model();
+        let prompt: Vec<u32> = (0..23u32).map(|i| (i * 13 + 2) % 48).collect();
+        let mut loop_cache = m.new_cache();
+        let mut loop_scratch = m.new_scratch();
+        for &t in &prompt {
+            m.step_with(t, &mut loop_cache, &mut loop_scratch);
+        }
+        let mut panel_cache = m.new_cache();
+        let mut panel_scratch = m.new_scratch();
+        let stats = m.prefill_with(&prompt, &mut panel_cache, &mut panel_scratch, true);
+        assert_eq!(stats.panels, 1);
+        assert_eq!(stats.max_panel, prompt.len());
+        assert_eq!(loop_scratch.logits(), panel_scratch.logits());
+        assert_eq!(panel_cache.len(), prompt.len());
+        let c = m.config();
+        for layer in 0..c.num_layers {
+            for p in 0..prompt.len() {
+                for head in 0..c.attention.num_kv_heads {
+                    assert_eq!(
+                        loop_cache.key(layer, p, head),
+                        panel_cache.key(layer, p, head),
+                        "key layer {layer} pos {p} head {head}"
+                    );
+                    assert_eq!(
+                        loop_cache.value(layer, p, head),
+                        panel_cache.value(layer, p, head),
+                        "value layer {layer} pos {p} head {head}"
+                    );
+                }
+            }
+        }
+        // Decoding after either prefill yields identical continuations.
+        let mut a = Vec::new();
+        let mut tok = Sampler::Greedy.sample(loop_scratch.logits());
+        for _ in 0..6 {
+            a.push(tok);
+            m.step_with(tok, &mut loop_cache, &mut loop_scratch);
+            tok = Sampler::Greedy.sample(loop_scratch.logits());
+        }
+        let mut b = Vec::new();
+        let mut tok = Sampler::Greedy.sample(panel_scratch.logits());
+        for _ in 0..6 {
+            b.push(tok);
+            m.step_with(tok, &mut panel_cache, &mut panel_scratch);
+            tok = Sampler::Greedy.sample(panel_scratch.logits());
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prefill_is_chunking_invariant() {
+        // Any panel width yields bit-identical logits: the matmul is
+        // bit-equal to the matvec loop per token, so chunk boundaries
+        // cannot be observed.
+        let m = model();
+        let prompt: Vec<u32> = (0..41u32).map(|i| (i * 7 + 1) % 48).collect();
+        let mut want: Option<Vec<f32>> = None;
+        for panel in [1usize, 3, 16, 64] {
+            let mut cache = m.new_cache();
+            let mut scratch = m.new_scratch();
+            let stats = m.prefill_chunked(&prompt, &mut cache, &mut scratch, panel, true);
+            assert_eq!(stats.panels as usize, prompt.len().div_ceil(panel));
+            assert_eq!(stats.max_panel, panel.min(prompt.len()));
+            match &want {
+                None => want = Some(scratch.logits().to_vec()),
+                Some(w) => assert_eq!(w.as_slice(), scratch.logits(), "panel {panel}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panel_prefill_respects_lora_adapter() {
+        use crate::lora::LoraAdapter;
+        let mut m = model();
+        let c = *m.config();
+        m.set_q_adapter(
+            0,
+            LoraAdapter::seeded(c.hidden_size, c.attention.q_width(), 4, 8.0, 3),
+        );
+        let prompt = [1u32, 2, 3, 4, 5];
+        let mut loop_cache = m.new_cache();
+        let mut loop_scratch = m.new_scratch();
+        for &t in &prompt {
+            m.step_with(t, &mut loop_cache, &mut loop_scratch);
+        }
+        let mut cache = m.new_cache();
+        let mut scratch = m.new_scratch();
+        m.prefill_with(&prompt, &mut cache, &mut scratch, true);
+        assert_eq!(loop_scratch.logits(), scratch.logits());
     }
 }

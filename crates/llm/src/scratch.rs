@@ -11,6 +11,12 @@
 
 use hnlpu_model::TransformerConfig;
 
+/// Widest activation panel the prefill path runs through the matmul
+/// kernels in one pass. Longer prompts are chunked into panels of at most
+/// this many tokens; the [`Scratch`] arena sizes its panel buffers to it
+/// so chunked prefill stays allocation-free.
+pub const MAX_PREFILL_PANEL: usize = 64;
+
 /// Precomputed rotary-embedding table for one sequence.
 ///
 /// The seed path recomputed `10000^(2i/d)` with `powf` for every head of
@@ -130,6 +136,44 @@ pub struct Scratch {
     pub(crate) rope: RopeTable,
     /// Next-token logits of the most recent step (vocab_size).
     pub(crate) logits: Vec<f32>,
+    /// Row-partitioned matvec partials (`kernels::ROW_SPLITS` × widest
+    /// projection output).
+    pub(crate) partials: Vec<f32>,
+    /// Prefill residual panel (T × hidden).
+    pub(crate) xp: Vec<f32>,
+    /// Prefill normalized panel (T × hidden).
+    pub(crate) xnp: Vec<f32>,
+    /// Prefill post-attention residual panel (T × hidden).
+    pub(crate) xop: Vec<f32>,
+    /// Prefill query panel (T × q_width).
+    pub(crate) qp: Vec<f32>,
+    /// Prefill key panel (T × kv_width).
+    pub(crate) kp: Vec<f32>,
+    /// Prefill value panel (T × kv_width).
+    pub(crate) vp: Vec<f32>,
+    /// Prefill attention-output panel (T × q_width).
+    pub(crate) attnp: Vec<f32>,
+    /// Prefill partial-product panel (T × max per-chip slice width).
+    pub(crate) partp: Vec<f32>,
+    /// Prefill router-logit panel (T × num_experts).
+    pub(crate) routerp: Vec<f32>,
+    /// Prefill top-k expert choices (T × experts_per_token).
+    pub(crate) chosenp: Vec<usize>,
+    /// Prefill softmaxed expert weights (T × experts_per_token).
+    pub(crate) expertwp: Vec<f32>,
+    /// Expert-grouped activation gather (≤ T rows × hidden); reused for
+    /// the group's down-projection outputs.
+    pub(crate) gatherp: Vec<f32>,
+    /// Expert-grouped up projections (≤ T rows × intermediate).
+    pub(crate) upp: Vec<f32>,
+    /// Expert-grouped gate projections (≤ T rows × intermediate).
+    pub(crate) gatep: Vec<f32>,
+    /// Staged per-(token, chosen-slot) expert outputs (T ×
+    /// experts_per_token × hidden), replayed in each token's chosen order.
+    pub(crate) stagep: Vec<f32>,
+    /// (token × experts_per_token) slot ids of the expert group currently
+    /// being gathered (capacity T × experts_per_token).
+    pub(crate) gidx: Vec<usize>,
 }
 
 impl Scratch {
@@ -144,6 +188,12 @@ impl Scratch {
         let grid = crate::dataflow::GRID;
         // Widest per-chip slice either engine hands to `partial`.
         let slice = (qw / grid).max(kvw / grid).max(h / grid).max(1);
+        let inter = config.moe.intermediate_size;
+        let experts = config.moe.num_experts;
+        let per_tok = config.moe.experts_per_token;
+        // Widest output a row-partitioned projection produces.
+        let maxw = qw.max(kvw).max(h).max(inter).max(experts);
+        let t = MAX_PREFILL_PANEL;
         Scratch {
             x: vec![0.0; h],
             xn: vec![0.0; h],
@@ -167,6 +217,23 @@ impl Scratch {
             lora_hidden: Vec::new(),
             rope: RopeTable::new(hd),
             logits: vec![0.0; config.vocab_size],
+            partials: vec![0.0; crate::kernels::ROW_SPLITS * maxw],
+            xp: vec![0.0; t * h],
+            xnp: vec![0.0; t * h],
+            xop: vec![0.0; t * h],
+            qp: vec![0.0; t * qw],
+            kp: vec![0.0; t * kvw],
+            vp: vec![0.0; t * kvw],
+            attnp: vec![0.0; t * qw],
+            partp: vec![0.0; t * slice],
+            routerp: vec![0.0; t * experts],
+            chosenp: vec![0; t * per_tok],
+            expertwp: vec![0.0; t * per_tok],
+            gatherp: vec![0.0; t * h],
+            upp: vec![0.0; t * inter],
+            gatep: vec![0.0; t * inter],
+            stagep: vec![0.0; t * per_tok * h],
+            gidx: Vec::with_capacity(t * per_tok),
         }
     }
 
