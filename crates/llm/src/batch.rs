@@ -20,6 +20,7 @@ use crate::reference::PrefillStats;
 use crate::sampler::Sampler;
 use crate::scratch::Scratch;
 use hnlpu_sim::scheduler::{BatchScheduler, Request, RoundPlan};
+use serde::Serialize;
 use std::fmt;
 use std::time::Instant;
 
@@ -168,9 +169,34 @@ impl SequenceRequest {
     }
 }
 
+/// Typed accounting for fault recovery: sequences evicted by chip
+/// failures and what became of them. Offline plan replay never injects
+/// faults, so its reports carry the all-zero default; the online server
+/// fills these in as its [`crate::fault::FaultPlan`] unfolds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RecoveryStats {
+    /// In-flight sequences evicted because a chip holding their KV died.
+    pub evictions: u64,
+    /// Evicted sequences re-admitted and re-prefilled into fresh slots.
+    pub resumed: u64,
+    /// Evicted sequences abandoned after exhausting recovery retries.
+    pub failed: u64,
+    /// Prompt + already-emitted tokens re-prefilled during recoveries.
+    pub re_prefill_tokens: u64,
+}
+
+impl RecoveryStats {
+    /// True when no fault ever touched a resident sequence.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+}
+
 /// Result of one batched run.
 #[derive(Debug, Clone)]
 pub struct BatchRunReport {
+    /// Fault-recovery accounting (all zero for offline plan replay).
+    pub recovery: RecoveryStats,
     /// Decoded token streams, indexed like the input request slice.
     pub outputs: Vec<Vec<u32>>,
     /// Per-sequence communication counters, same indexing.
@@ -457,6 +483,7 @@ impl BatchedDataflowExecutor {
         }
 
         Ok(BatchRunReport {
+            recovery: RecoveryStats::default(),
             comm: per_sequence_comm.iter().copied().sum(),
             outputs,
             per_sequence_comm,
@@ -486,6 +513,30 @@ impl BatchedDataflowExecutor {
             prefill_stats: PrefillStats::default(),
             out: Vec::new(),
         }
+    }
+
+    /// Rebuild an evicted sequence's slot for re-admission: the KV context
+    /// is cleared (the chip holding part of it died) and the prompt is
+    /// extended with every token already emitted, so re-prefilling it
+    /// reconstructs the exact attention context the next decode step
+    /// expects.
+    ///
+    /// Token-exactness: the panel prefill is bit-identical to stepping
+    /// tokens one at a time (`panel_prefill_is_bitwise_per_token_loop`
+    /// pins this), and in the original run every emitted token except the
+    /// last was stepped back into the machine. Re-prefilling
+    /// `prompt ++ out` with logits on the final chunk therefore leaves
+    /// the state and logits exactly where the interrupted sequence's next
+    /// sample would have read them — the recovered stream continues
+    /// bit-for-bit. Sampler state, emitted tokens, and panel stats are
+    /// retained; only the context is rebuilt.
+    pub(crate) fn recover_slot(&self, mut carcass: SeqSlot, req: &SequenceRequest) -> SeqSlot {
+        carcass.state.reset_context();
+        let mut prompt = req.prompt.clone();
+        prompt.extend_from_slice(&carcass.out);
+        carcass.prompt = prompt;
+        carcass.prefill_pos = 0;
+        carcass
     }
 
     /// Place `seq` in the lowest free slot of the pool.

@@ -78,6 +78,160 @@ impl std::iter::Sum for CommCounters {
     }
 }
 
+/// Liveness of the 16 hardwired chips, as a bitmask (chip `r * GRID + c`
+/// is bit `r * GRID + c`). Hardwired chips cannot be repaired, so bits
+/// only ever clear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridHealth {
+    alive: u16,
+}
+
+impl GridHealth {
+    /// All 16 chips alive.
+    pub fn full() -> Self {
+        GridHealth { alive: u16::MAX }
+    }
+
+    /// Mark `chip` dead. Returns `true` when this changed the grid
+    /// (false for an already-dead or out-of-range chip).
+    pub fn fail(&mut self, chip: usize) -> bool {
+        if chip >= GRID * GRID || !self.is_alive(chip) {
+            return false;
+        }
+        self.alive &= !(1u16 << chip);
+        true
+    }
+
+    /// Is `chip` alive? Out-of-range chips are dead.
+    pub fn is_alive(&self, chip: usize) -> bool {
+        chip < GRID * GRID && self.alive & (1u16 << chip) != 0
+    }
+
+    /// Live chips remaining.
+    pub fn survivors(&self) -> usize {
+        self.alive.count_ones() as usize
+    }
+
+    /// True once any chip has died.
+    pub fn is_degraded(&self) -> bool {
+        self.alive != u16::MAX
+    }
+}
+
+impl Default for GridHealth {
+    fn default() -> Self {
+        GridHealth::full()
+    }
+}
+
+/// A degraded grid has no survivors left to host work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridError {
+    /// Every chip is dead.
+    NoSurvivors,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::NoSurvivors => write!(f, "no surviving chips to host the grid's work"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// Hosting map for a degraded grid: logical shard `r` of column `c`
+/// (its home is chip `r * GRID + c`) → the surviving physical chip that
+/// hosts its row-partition and KV shard.
+///
+/// Relocation changes *hosting only*, never numerics:
+/// [`matvec_rows_split_into`] always computes the four logical
+/// row-partition partials — whichever chip (or worker thread) hosts
+/// each one — and its `reduce_partials` step sums them in fixed
+/// logical block order. The reduction order is a property of the
+/// logical shard index, not of the hosting chip, so a degraded layout's
+/// results are bit-identical for *any* survivor set
+/// (`degraded_hosting_is_bit_exact` below pins this).
+///
+/// Placement policy, deterministic: prefer the same column (cyclically
+/// next live row, keeping the relocated KV shard inside the column
+/// group that consumes it), else the first live chip scanning row-major
+/// from the home chip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedLayout {
+    /// `host[col * GRID + shard]` = physical chip hosting that shard.
+    host: [u8; GRID * GRID],
+    survivors: usize,
+}
+
+impl DegradedLayout {
+    /// Compute the hosting map for `health`.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::NoSurvivors`] when every chip is dead.
+    pub fn for_health(health: &GridHealth) -> Result<Self, GridError> {
+        if health.survivors() == 0 {
+            return Err(GridError::NoSurvivors);
+        }
+        let mut host = [0u8; GRID * GRID];
+        for col in 0..GRID {
+            for shard in 0..GRID {
+                let home = shard * GRID + col;
+                let same_col = (0..GRID)
+                    .map(|dr| ((shard + dr) % GRID) * GRID + col)
+                    .find(|&c| health.is_alive(c));
+                let anywhere = || {
+                    (0..GRID * GRID)
+                        .map(|d| (home + d) % (GRID * GRID))
+                        .find(|&c| health.is_alive(c))
+                };
+                match same_col.or_else(anywhere) {
+                    Some(chip) => host[col * GRID + shard] = chip as u8,
+                    None => return Err(GridError::NoSurvivors),
+                }
+            }
+        }
+        Ok(DegradedLayout {
+            host,
+            survivors: health.survivors(),
+        })
+    }
+
+    /// The physical chip hosting logical shard `shard` of column `col`.
+    pub fn host_of(&self, col: usize, shard: usize) -> usize {
+        self.host[col * GRID + shard] as usize
+    }
+
+    /// Live chips underlying this layout.
+    pub fn survivors(&self) -> usize {
+        self.survivors
+    }
+
+    /// Shards hosted away from their home chip.
+    pub fn relocated(&self) -> usize {
+        (0..GRID * GRID)
+            .filter(|&i| {
+                let (col, shard) = (i / GRID, i % GRID);
+                self.host[i] as usize != shard * GRID + col
+            })
+            .count()
+    }
+
+    /// True when every shard sits on its home chip (healthy grid).
+    pub fn is_identity(&self) -> bool {
+        self.relocated() == 0
+    }
+
+    /// Concurrent-sequence capacity scaled to the surviving compute:
+    /// `slots * survivors / 16`, floored, but never below one (a single
+    /// surviving chip still serves, slowly).
+    pub fn effective_slots(&self, slots: usize) -> usize {
+        (slots * self.survivors / (GRID * GRID)).max(1)
+    }
+}
+
 /// Mutable per-sequence execution state.
 #[derive(Debug, Clone)]
 pub struct DataflowState {
@@ -109,6 +263,21 @@ impl DataflowState {
             .flat_map(|col| col.iter())
             .map(KvCache::bytes_fp16)
             .sum()
+    }
+
+    /// Forget every cached position and rewind to position zero, keeping
+    /// the KV allocations — the fault-recovery path re-prefills an
+    /// evicted sequence's history into the same buffers. Communication
+    /// counters are zeroed too; the caller harvests them before the
+    /// reset.
+    pub fn reset_context(&mut self) {
+        for col in &mut self.kv {
+            for shard in col {
+                shard.clear();
+            }
+        }
+        self.position = 0;
+        self.comm = CommCounters::default();
     }
 }
 
@@ -1258,6 +1427,158 @@ mod tests {
         let mut pscratch = hnlpu.new_scratch();
         hnlpu.prefill_with(&prompt, &mut ps, &mut pscratch, true);
         assert_eq!(lscratch.logits(), pscratch.logits());
+    }
+
+    #[test]
+    fn healthy_grid_layout_is_identity() {
+        let health = GridHealth::full();
+        assert_eq!(health.survivors(), GRID * GRID);
+        assert!(!health.is_degraded());
+        let layout = DegradedLayout::for_health(&health).expect("survivors exist");
+        assert!(layout.is_identity());
+        assert_eq!(layout.relocated(), 0);
+        assert_eq!(layout.effective_slots(216), 216);
+        for col in 0..GRID {
+            for shard in 0..GRID {
+                assert_eq!(layout.host_of(col, shard), shard * GRID + col);
+            }
+        }
+    }
+
+    #[test]
+    fn every_survivor_set_hosts_every_shard_on_a_live_chip() {
+        // Exhaustive over all 2^16 - 1 non-empty survivor sets: every
+        // logical shard lands on a live chip, dead-chip shards relocate,
+        // and capacity scales with survivors but never reaches zero.
+        for alive_mask in 1u32..(1 << (GRID * GRID)) {
+            let mut health = GridHealth::full();
+            for chip in 0..GRID * GRID {
+                if alive_mask & (1 << chip) == 0 {
+                    health.fail(chip);
+                }
+            }
+            let layout = DegradedLayout::for_health(&health).expect("non-empty survivor set");
+            for col in 0..GRID {
+                for shard in 0..GRID {
+                    assert!(
+                        health.is_alive(layout.host_of(col, shard)),
+                        "mask {alive_mask:#06x}: shard ({col},{shard}) hosted on a dead chip"
+                    );
+                }
+            }
+            assert_eq!(layout.relocated(), GRID * GRID - health.survivors());
+            assert!(layout.effective_slots(216) >= 1);
+            assert_eq!(
+                layout.effective_slots(216),
+                (216 * health.survivors() / (GRID * GRID)).max(1)
+            );
+        }
+    }
+
+    #[test]
+    fn single_failure_relocates_within_the_column() {
+        // Chip (r=1, c=2) dies: its shard moves to the next live row of
+        // column 2, keeping the relocated KV inside the column group.
+        let mut health = GridHealth::full();
+        assert!(health.fail(GRID + 2));
+        assert!(!health.fail(GRID + 2), "double-kill is a no-op");
+        let layout = DegradedLayout::for_health(&health).expect("15 survivors");
+        assert_eq!(layout.host_of(2, 1), 2 * GRID + 2);
+        assert_eq!(layout.relocated(), 1);
+        assert!(!layout.is_identity());
+    }
+
+    #[test]
+    fn dead_grid_is_a_typed_error() {
+        let mut health = GridHealth::full();
+        for chip in 0..GRID * GRID {
+            health.fail(chip);
+        }
+        assert_eq!(health.survivors(), 0);
+        assert_eq!(
+            DegradedLayout::for_health(&health),
+            Err(GridError::NoSurvivors)
+        );
+    }
+
+    /// The bit-exactness argument for degraded grids, pinned: the four
+    /// row-partition partials of `matvec_rows_split_into` are reduced in
+    /// fixed logical block order, independent of which host computes
+    /// them, so relocating a dead chip's partition changes hosting and
+    /// accounting only — every projection stays bit-identical to the
+    /// healthy grid's.
+    #[test]
+    fn degraded_hosting_is_bit_exact() {
+        use crate::kernels::matvec_block_into;
+        use crate::tensor::add_assign;
+        let hnlpu = DataflowExecutor::new(weights());
+        let w = &hnlpu.weights.layers[0].wq;
+        let rows = w.rows();
+        let x: Vec<f32> = (0..rows)
+            .map(|i| ((i * 7 + 3) % 13) as f32 * 0.25 - 1.5)
+            .collect();
+        let per_col = w.cols() / GRID;
+        let mut healthy = vec![0.0f32; per_col];
+        let mut partials = vec![0.0f32; ROW_SPLITS * per_col];
+        matvec_rows_split_into(&x, w, 0..per_col, &mut healthy, &mut partials);
+        // "Degraded execution": compute the same four logical partials in
+        // an arbitrary hosting order (survivors pick up dead chips'
+        // partitions), then reduce in logical order — bitwise equal.
+        for hosting_order in [[3usize, 1, 0, 2], [2, 3, 1, 0], [1, 1, 1, 1]] {
+            let mut parts = vec![0.0f32; ROW_SPLITS * per_col];
+            for &s in &hosting_order {
+                // Host assignment does not appear anywhere in the math:
+                // each logical split s writes its own partial block.
+                matvec_block_into(
+                    &x[s * rows / ROW_SPLITS..(s + 1) * rows / ROW_SPLITS],
+                    w,
+                    s * rows / ROW_SPLITS,
+                    0..per_col,
+                    &mut parts[s * per_col..(s + 1) * per_col],
+                );
+            }
+            // Splits absent from a hosting order (e.g. all-host-1) are
+            // recomputed by the fallback host.
+            for s in 0..ROW_SPLITS {
+                if !hosting_order.contains(&s) {
+                    matvec_block_into(
+                        &x[s * rows / ROW_SPLITS..(s + 1) * rows / ROW_SPLITS],
+                        w,
+                        s * rows / ROW_SPLITS,
+                        0..per_col,
+                        &mut parts[s * per_col..(s + 1) * per_col],
+                    );
+                }
+            }
+            let mut degraded = vec![0.0f32; per_col];
+            for s in 0..ROW_SPLITS {
+                add_assign(&mut degraded, &parts[s * per_col..(s + 1) * per_col]);
+            }
+            assert_eq!(healthy, degraded, "order {hosting_order:?}");
+        }
+    }
+
+    #[test]
+    fn reset_context_forgets_positions_and_counters() {
+        let hnlpu = DataflowExecutor::new(weights());
+        let mut state = hnlpu.new_state();
+        let mut scratch = hnlpu.new_scratch();
+        for t in [5u32, 9, 2] {
+            hnlpu.step_with(t, &mut state, &mut scratch);
+        }
+        assert!(state.kv_bytes_fp16() > 0);
+        state.reset_context();
+        assert_eq!(state.position(), 0);
+        assert_eq!(state.kv_bytes_fp16(), 0);
+        assert_eq!(state.comm, CommCounters::default());
+        // A reset state replays a fresh one bit-for-bit.
+        let mut fresh = hnlpu.new_state();
+        let mut fresh_scratch = hnlpu.new_scratch();
+        for t in [8u32, 1] {
+            hnlpu.step_with(t, &mut state, &mut scratch);
+            hnlpu.step_with(t, &mut fresh, &mut fresh_scratch);
+        }
+        assert_eq!(scratch.logits(), fresh_scratch.logits());
     }
 
     #[test]

@@ -82,6 +82,15 @@ impl KvCache {
         self.layers.len()
     }
 
+    /// Drop every cached position but keep the allocations, so a
+    /// recovering sequence re-prefills into warm buffers.
+    pub fn clear(&mut self) {
+        for l in &mut self.layers {
+            l.keys.clear();
+            l.values.clear();
+        }
+    }
+
     /// Total cached bytes at fp16 storage (capacity planning).
     pub fn bytes_fp16(&self) -> u64 {
         self.layers
@@ -164,6 +173,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// `clear` forgets every position but keeps shape and allocations, and
+    /// the cache refills exactly like a fresh one (the recovery path's
+    /// warm re-prefill buffer).
+    #[test]
+    fn clear_resets_positions_and_refills_like_new() {
+        let mut c = KvCache::new(2, 1, 2);
+        for p in 0..3 {
+            for layer in 0..2 {
+                c.append(layer, &[p as f32, 1.0], &[2.0, p as f32]);
+            }
+        }
+        assert_eq!(c.len(), 3);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes_fp16(), 0);
+        assert_eq!(c.num_layers(), 2);
+        c.append(0, &[9.0, 8.0], &[7.0, 6.0]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.key(0, 0, 0), &[9.0, 8.0]);
+        assert_eq!(c.value(0, 0, 0), &[7.0, 6.0]);
     }
 
     /// Appending out-of-order across layers keeps per-layer counts

@@ -28,6 +28,11 @@
 //!   incremental prefill/decode scheduling on a virtual clock, per-token
 //!   streaming, cancellation, and p50/p99 TTFT/TPOT SLO reporting —
 //!   bit-identical to offline plan replay by construction.
+//! * [`fault`] — deterministic chaos: seeded [`fault::FaultPlan`]s (chip
+//!   kills, stragglers, link faults, request deadlines) that the server
+//!   consumes on its virtual clock, making every degraded-mode run exactly
+//!   reproducible; hardwired chips cannot be re-flashed, so failures are
+//!   survived by remapping ([`dataflow::DegradedLayout`]), not repair.
 //!
 //! # Example
 //!
@@ -49,6 +54,7 @@
 #![warn(missing_docs)]
 pub mod batch;
 pub mod dataflow;
+pub mod fault;
 pub mod kernels;
 pub mod kv_cache;
 pub mod lora;
@@ -61,8 +67,9 @@ pub mod serve;
 pub mod tensor;
 pub mod tokenizer;
 
-pub use batch::{BatchRunReport, BatchedDataflowExecutor, SequenceRequest};
-pub use dataflow::{CommCounters, DataflowExecutor};
+pub use batch::{BatchRunReport, BatchedDataflowExecutor, RecoveryStats, SequenceRequest};
+pub use dataflow::{CommCounters, DataflowExecutor, DegradedLayout, GridError, GridHealth};
+pub use fault::{ChaosSpec, FaultError, FaultPlan};
 pub use kv_cache::KvCache;
 pub use lora::LoraAdapter;
 pub use naive::NaiveTransformer;

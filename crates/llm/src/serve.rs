@@ -27,9 +27,35 @@
 //! Sequence lifecycle: `Queued → Prefilling → Decoding → Finished`, with
 //! `Cancelled` reachable from every live state and `QueueFull` rejections
 //! never entering the lifecycle at all.
+//!
+//! # Fault tolerance
+//!
+//! A validated [`FaultPlan`] (see [`crate::fault`]) injects chip
+//! failures, straggler slowdowns, link faults, and per-request deadlines
+//! onto the same virtual clock, so every chaos run replays exactly.
+//! Hardwired chips cannot be re-flashed: a failure is survived, not
+//! repaired. Because the KV cache shards every resident sequence across
+//! all 16 chips (`position % 4` per column), a chip death evicts every
+//! resident sequence; capacity shrinks to the survivor share
+//! ([`DegradedLayout::effective_slots`]), evicted sequences park their
+//! slots and re-admit with bounded exponential backoff (re-prefilling
+//! `prompt ++ emitted` token-exactly — see
+//! [`BatchedDataflowExecutor::recover_slot`]), queued requests are shed
+//! before admitted ones when the backlog overflows, and expired deadlines
+//! retire sequences with typed [`ServeError::Deadline`] outcomes.
+//! Stragglers and link faults stretch round time
+//! ([`hnlpu_sim::fabric::retry_round_factor`]); latencies sampled in
+//! degraded rounds land in separate [`SloReport`] percentile rows. An
+//! empty plan leaves every arithmetic operation of the loop bit-identical
+//! to a fault-free server — the differential harnesses still hold.
+//!
+//! Extended lifecycle: `Recovering` (evicted, awaiting re-admission) is
+//! live; `DeadlineMissed`, `Shed`, and `ChipLost` are terminal.
 
-use crate::batch::{Action, BatchedDataflowExecutor, SeqSlot, SequenceRequest};
-use crate::dataflow::CommCounters;
+use crate::batch::{Action, BatchedDataflowExecutor, RecoveryStats, SeqSlot, SequenceRequest};
+use crate::dataflow::{CommCounters, DegradedLayout, GridHealth};
+use crate::fault::{ChipFailure, FaultError, FaultPlan};
+use hnlpu_sim::fabric::retry_round_factor;
 use hnlpu_sim::scheduler::{BatchScheduler, RoundPlan};
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -85,6 +111,34 @@ pub enum ServeError {
         /// Slots the engine pools.
         capacity: usize,
     },
+    /// The per-request deadline passed before completion; the sequence
+    /// was retired and any KV slot freed exactly once.
+    Deadline {
+        /// The retired handle.
+        id: SeqId,
+        /// The deadline that expired, microseconds of virtual time.
+        deadline_micros: u64,
+    },
+    /// A chip failure evicted the sequence and recovery retries were
+    /// exhausted before a slot freed up on the surviving grid.
+    ChipLost {
+        /// The abandoned handle.
+        id: SeqId,
+        /// The failed chip that evicted it.
+        chip: usize,
+    },
+    /// The sequence was shed from the admission queue under fault
+    /// pressure: queued requests are sacrificed before admitted ones.
+    Shed {
+        /// The shed handle.
+        id: SeqId,
+    },
+    /// The fault plan handed to [`OnlineServer::with_faults`] failed
+    /// validation.
+    InvalidFaultPlan {
+        /// The underlying validation failure.
+        error: FaultError,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -116,6 +170,19 @@ impl fmt::Display for ServeError {
                 f,
                 "scheduler schedules {scheduled} slots but the engine pools {capacity}"
             ),
+            ServeError::Deadline {
+                id,
+                deadline_micros,
+            } => write!(f, "{id} missed its deadline at {deadline_micros} µs"),
+            ServeError::ChipLost { id, chip } => {
+                write!(f, "{id} lost to chip {chip} failure; recovery exhausted")
+            }
+            ServeError::Shed { id } => {
+                write!(f, "{id} shed from the queue under fault pressure")
+            }
+            ServeError::InvalidFaultPlan { error } => {
+                write!(f, "invalid fault plan: {error}")
+            }
         }
     }
 }
@@ -135,6 +202,15 @@ pub enum SeqState {
     Finished,
     /// Cancelled before completion; any KV slot was freed.
     Cancelled,
+    /// Evicted by a chip failure; the KV slot was freed and the sequence
+    /// awaits re-admission onto the surviving grid (still live).
+    Recovering,
+    /// Terminal: the per-request deadline passed before completion.
+    DeadlineMissed,
+    /// Terminal: shed from the admission queue under fault pressure.
+    Shed,
+    /// Terminal: chip-failure recovery retries were exhausted.
+    ChipLost,
 }
 
 /// One observable serving event, stamped with virtual time. Drained in
@@ -176,6 +252,54 @@ pub enum ServeEvent {
         /// Virtual time, seconds.
         t_s: f64,
     },
+    /// An injected chip failure took effect; every resident sequence was
+    /// evicted and slot capacity shrank to the survivor share.
+    ChipFailed {
+        /// The chip that died (row-major in the 4×4 grid).
+        chip: usize,
+        /// Virtual time, seconds.
+        t_s: f64,
+    },
+    /// A resident sequence lost its KV to a chip failure; its slot was
+    /// freed and it entered recovery.
+    Evicted {
+        /// Sequence handle.
+        id: SeqId,
+        /// The failed chip.
+        chip: usize,
+        /// Virtual time, seconds.
+        t_s: f64,
+    },
+    /// An evicted sequence re-admitted: its retained prompt + emitted
+    /// tokens re-prefill into a fresh slot, resuming token-exact.
+    Recovered {
+        /// Sequence handle.
+        id: SeqId,
+        /// Virtual time, seconds.
+        t_s: f64,
+    },
+    /// The sequence's deadline expired; it was retired and any slot
+    /// freed.
+    DeadlineMissed {
+        /// Sequence handle.
+        id: SeqId,
+        /// Virtual time, seconds.
+        t_s: f64,
+    },
+    /// The sequence was shed from the queue under fault pressure.
+    Shed {
+        /// Sequence handle.
+        id: SeqId,
+        /// Virtual time, seconds.
+        t_s: f64,
+    },
+    /// Recovery retries were exhausted; the sequence was abandoned.
+    ChipLost {
+        /// Sequence handle.
+        id: SeqId,
+        /// Virtual time, seconds.
+        t_s: f64,
+    },
 }
 
 /// Per-request bookkeeping.
@@ -193,9 +317,29 @@ struct SeqRecord {
     /// Tokens streamed so far (grown one per decode round).
     tokens: Vec<u32>,
     comm: CommCounters,
-    /// Times this sequence's KV slot was released — exactly 1 for every
-    /// sequence that was ever admitted, 0 for queue-only lifetimes.
+    /// Times this sequence's KV slot was released — exactly once per
+    /// admission (`slot_frees == admissions` always holds at the end), 0
+    /// for queue-only lifetimes.
     slot_frees: u32,
+    /// Times this sequence took a KV slot (initial admission plus each
+    /// post-eviction recovery).
+    admissions: u32,
+    /// Completion deadline in virtual microseconds, from the fault plan.
+    deadline: Option<u64>,
+    /// Recovery re-admission attempts since the last eviction.
+    retries: u32,
+    /// Earliest virtual time the next recovery attempt may run.
+    retry_at_s: f64,
+    /// True once a chip failure ever evicted this sequence: its latency
+    /// samples land in the degraded SLO rows from then on.
+    recovered: bool,
+    /// The chip whose failure last evicted this sequence.
+    evicted_by: Option<usize>,
+    /// The evicted slot, parked between eviction and re-admission (keeps
+    /// emitted tokens, sampler state, and warm buffers).
+    parked: Option<SeqSlot>,
+    /// The typed fault outcome for retired-by-fault sequences.
+    error: Option<ServeError>,
 }
 
 /// Per-sequence outcome in a [`ServeReport`].
@@ -219,6 +363,12 @@ pub struct SequenceOutcome {
     pub comm: CommCounters,
     /// KV-slot releases (exactly once per admission; see tests).
     pub slot_frees: u32,
+    /// Times the sequence took a KV slot (1 + recoveries; equals
+    /// `slot_frees` for every retired sequence).
+    pub admissions: u32,
+    /// Typed fault outcome when the sequence was retired by a deadline,
+    /// shedding, or an unrecoverable chip loss.
+    pub error: Option<ServeError>,
 }
 
 /// Aggregate service-level-objective statistics in virtual time.
@@ -232,6 +382,20 @@ pub struct SloReport {
     pub cancelled: usize,
     /// Submissions rejected by queue backpressure.
     pub rejected: usize,
+    /// Queued sequences shed under fault pressure.
+    pub shed: usize,
+    /// Sequences retired by an expired deadline.
+    pub deadline_missed: usize,
+    /// Sequences abandoned after exhausting chip-failure recovery.
+    pub chip_lost: usize,
+    /// Injected chip failures that took effect.
+    pub chip_failures: usize,
+    /// Eviction/re-prefill accounting for chip-failure recovery.
+    pub recovery: RecoveryStats,
+    /// Rounds run on a degraded grid or under a straggler/link stretch.
+    pub degraded_rounds: u64,
+    /// Rounds stretched by link-fault retransmissions.
+    pub link_retry_rounds: u64,
     /// Pipeline rounds executed.
     pub rounds: u64,
     /// Prompt tokens prefilled.
@@ -246,7 +410,8 @@ pub struct SloReport {
     pub makespan_s: f64,
     /// Decode throughput in virtual time, tokens/s.
     pub decode_tokens_per_s_virtual: f64,
-    /// Median time-to-first-token, seconds.
+    /// Median time-to-first-token, seconds (healthy-mode samples only;
+    /// degraded-mode samples get their own rows below).
     pub ttft_p50_s: f64,
     /// 99th-percentile time-to-first-token, seconds.
     pub ttft_p99_s: f64,
@@ -258,6 +423,15 @@ pub struct SloReport {
     pub tpot_p99_s: f64,
     /// Mean inter-token gap, seconds.
     pub tpot_mean_s: f64,
+    /// Median TTFT over degraded-mode samples (degraded round, or the
+    /// sequence was ever evicted). `0.0` when no degraded sample exists.
+    pub ttft_degraded_p50_s: f64,
+    /// 99th-percentile degraded-mode TTFT, seconds.
+    pub ttft_degraded_p99_s: f64,
+    /// Median degraded-mode inter-token gap, seconds.
+    pub tpot_degraded_p50_s: f64,
+    /// 99th-percentile degraded-mode inter-token gap, seconds.
+    pub tpot_degraded_p99_s: f64,
 }
 
 /// Full result of an online run: SLO summary, per-sequence outcomes, and
@@ -312,8 +486,35 @@ pub struct OnlineServer {
     peak_resident: usize,
     peak_kv_bytes: u64,
     rejected: usize,
+    /// Healthy-mode latency samples.
     ttfts: Vec<f64>,
     gaps: Vec<f64>,
+    /// Degraded-mode latency samples (degraded round or evicted-ever).
+    ttfts_degraded: Vec<f64>,
+    gaps_degraded: Vec<f64>,
+    /// The injected fault schedule (validated at construction).
+    faults: FaultPlan,
+    /// Chip failures sorted by time; `next_failure` indexes the first
+    /// not-yet-applied entry.
+    pending_failures: Vec<ChipFailure>,
+    next_failure: usize,
+    /// Survivor set of the 4×4 grid.
+    health: GridHealth,
+    /// Row-partition hosting for the current survivor set.
+    layout: DegradedLayout,
+    /// Slot capacity under the current survivor set.
+    effective_slots: usize,
+    /// Evicted sequences awaiting re-admission, FCFS.
+    recovering: VecDeque<SeqId>,
+    recovery: RecoveryStats,
+    shed: usize,
+    chip_failures_applied: usize,
+    degraded_rounds: u64,
+    link_retry_rounds: u64,
+    /// Submission attempts (accepted or not) — the index the fault
+    /// plan's deadlines key on, so a trace's deadline targets stay stable
+    /// regardless of rejections.
+    submit_attempts: usize,
 }
 
 impl OnlineServer {
@@ -330,6 +531,27 @@ impl OnlineServer {
         scheduler: &BatchScheduler,
         queue_capacity: usize,
     ) -> Result<Self, ServeError> {
+        Self::with_faults(engine, scheduler, queue_capacity, FaultPlan::none())
+    }
+
+    /// As [`new`](Self::new), with a fault schedule to inject on the
+    /// virtual clock. An empty plan yields a server whose every
+    /// arithmetic operation is bit-identical to [`new`](Self::new)'s.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidFaultPlan`] for a malformed plan (out-of-range
+    /// chip, no survivors, empty windows, duplicate deadlines, …), or
+    /// [`ServeError::SlotsExceedCapacity`] as for [`new`](Self::new).
+    pub fn with_faults(
+        engine: BatchedDataflowExecutor,
+        scheduler: &BatchScheduler,
+        queue_capacity: usize,
+        faults: FaultPlan,
+    ) -> Result<Self, ServeError> {
+        faults
+            .validate()
+            .map_err(|error| ServeError::InvalidFaultPlan { error })?;
         let slots = scheduler.slots();
         if slots > engine.max_slots() {
             return Err(ServeError::SlotsExceedCapacity {
@@ -337,6 +559,13 @@ impl OnlineServer {
                 capacity: engine.max_slots(),
             });
         }
+        let pending_failures = faults.failures_sorted();
+        let health = GridHealth::full();
+        // A full grid always has survivors.
+        let layout =
+            DegradedLayout::for_health(&health).map_err(|_| ServeError::InvalidFaultPlan {
+                error: FaultError::NoSurvivors,
+            })?;
         Ok(OnlineServer {
             round_s: scheduler.round_s(),
             slots,
@@ -358,7 +587,47 @@ impl OnlineServer {
             rejected: 0,
             ttfts: Vec::new(),
             gaps: Vec::new(),
+            ttfts_degraded: Vec::new(),
+            gaps_degraded: Vec::new(),
+            faults,
+            pending_failures,
+            next_failure: 0,
+            health,
+            layout,
+            effective_slots: slots,
+            recovering: VecDeque::new(),
+            recovery: RecoveryStats::default(),
+            shed: 0,
+            chip_failures_applied: 0,
+            degraded_rounds: 0,
+            link_retry_rounds: 0,
+            submit_attempts: 0,
         })
+    }
+
+    /// Recovery re-admission attempts before an evicted sequence is
+    /// abandoned as [`SeqState::ChipLost`]. Backoff is exponential in
+    /// round time, so the last attempt waits `2^6 = 64` rounds.
+    pub const MAX_RECOVERY_RETRIES: u32 = 6;
+
+    /// The survivor set of the 4×4 chip grid.
+    pub fn grid_health(&self) -> GridHealth {
+        self.health
+    }
+
+    /// The row-partition hosting for the current survivor set.
+    pub fn degraded_layout(&self) -> &DegradedLayout {
+        &self.layout
+    }
+
+    /// Concurrent-sequence capacity under the current survivor set.
+    pub fn effective_slots(&self) -> usize {
+        self.effective_slots
+    }
+
+    /// The injected fault schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Current virtual time, seconds.
@@ -374,6 +643,11 @@ impl OnlineServer {
     /// Sequences currently holding a KV slot.
     pub fn resident(&self) -> usize {
         self.resident.len()
+    }
+
+    /// Evicted sequences awaiting recovery re-admission.
+    pub fn recovering(&self) -> usize {
+        self.recovering.len()
     }
 
     /// Lifecycle state of a submitted sequence.
@@ -403,6 +677,11 @@ impl OnlineServer {
     /// and [`ServeError::QueueFull`] when backpressure rejects the
     /// request (nothing is enqueued; the rejection is counted).
     pub fn submit(&mut self, request: SequenceRequest) -> Result<SeqId, ServeError> {
+        // Deadlines key on the submission *attempt* index (counted even
+        // for rejected calls), so a fault plan's deadline targets line up
+        // with trace positions regardless of backpressure.
+        let attempt = self.submit_attempts;
+        self.submit_attempts += 1;
         if request.prompt.is_empty() {
             return Err(ServeError::EmptyPrompt);
         }
@@ -432,6 +711,14 @@ impl OnlineServer {
             tokens: Vec::new(),
             comm: CommCounters::default(),
             slot_frees: 0,
+            admissions: 0,
+            deadline: self.faults.deadline_of(attempt),
+            retries: 0,
+            retry_at_s: 0.0,
+            recovered: false,
+            evicted_by: None,
+            parked: None,
+            error: None,
         });
         self.waiting.push_back(id);
         Ok(id)
@@ -462,13 +749,25 @@ impl OnlineServer {
                 rec.finish_s = Some(self.now_s);
                 if let Some(idx) = rec.slot.take() {
                     if let Some(gone) = self.pool.get_mut(idx).and_then(Option::take) {
-                        rec.comm = gone.state.comm;
+                        rec.comm += gone.state.comm;
                         rec.slot_frees += 1;
                     }
                 }
                 self.resident.retain(|&r| r != id);
             }
-            SeqState::Finished | SeqState::Cancelled => {
+            SeqState::Recovering => {
+                // The slot was already freed at eviction; just drop the
+                // parked carcass and leave the recovery queue.
+                rec.state = SeqState::Cancelled;
+                rec.finish_s = Some(self.now_s);
+                rec.parked = None;
+                self.recovering.retain(|&r| r != id);
+            }
+            SeqState::Finished
+            | SeqState::Cancelled
+            | SeqState::DeadlineMissed
+            | SeqState::Shed
+            | SeqState::ChipLost => {
                 return Err(ServeError::AlreadyRetired { id });
             }
         }
@@ -485,44 +784,76 @@ impl OnlineServer {
         self.events.drain(..).collect()
     }
 
-    /// Run rounds until no sequence is queued or resident. Idle gaps
-    /// before a queued arrival jump the virtual clock forward.
+    /// Run rounds until no sequence is queued, recovering, or resident.
+    /// Idle gaps jump the virtual clock to the next wake event (queued
+    /// arrival, recovery retry, pending chip failure, or live deadline).
     pub fn run_until_idle(&mut self) {
         loop {
+            self.apply_due_faults();
+            self.enforce_deadlines();
             self.admit_waiting();
             if !self.resident.is_empty() {
                 self.round();
                 continue;
             }
-            let next = self
-                .waiting
-                .front()
-                .and_then(|id| self.seqs.get(id.0))
-                .map(|r| r.arrival_s);
-            let Some(next) = next else { return };
-            if next <= self.now_s {
-                // Unreachable with a consistent queue (free slots exist
-                // when nothing is resident); bail rather than spin.
-                return;
-            }
-            self.now_s = next;
+            let Some(wake) = self.next_wake() else { return };
+            self.now_s = wake;
         }
     }
 
     /// Advance the virtual clock to `t_s`: run rounds while work is
-    /// resident; once idle, jump straight to `t_s`.
+    /// resident; once idle, hop wake event by wake event up to `t_s`.
     fn advance_to(&mut self, t_s: f64) {
         loop {
+            self.apply_due_faults();
+            self.enforce_deadlines();
             self.admit_waiting();
-            if self.resident.is_empty() {
-                self.now_s = self.now_s.max(t_s);
-                return;
+            if !self.resident.is_empty() {
+                if self.now_s >= t_s {
+                    return;
+                }
+                self.round();
+                continue;
             }
-            if self.now_s >= t_s {
-                return;
+            match self.next_wake() {
+                Some(wake) if wake <= t_s => self.now_s = wake,
+                _ => {
+                    self.now_s = self.now_s.max(t_s);
+                    return;
+                }
             }
-            self.round();
         }
+    }
+
+    /// The next instant strictly after `now_s` at which an idle server
+    /// must act: the front queued arrival, a recovery retry, a pending
+    /// chip failure, or the deadline of a non-resident live sequence.
+    /// `None` means the server is fully drained (fault-free servers
+    /// reduce to the front-arrival rule the differential harness pins).
+    fn next_wake(&self) -> Option<f64> {
+        let mut candidates: Vec<f64> = Vec::new();
+        if let Some(r) = self.waiting.front().and_then(|id| self.seqs.get(id.0)) {
+            candidates.push(r.arrival_s);
+        }
+        for r in self.recovering.iter().filter_map(|id| self.seqs.get(id.0)) {
+            if r.state == SeqState::Recovering {
+                candidates.push(r.retry_at_s);
+            }
+        }
+        if let Some(f) = self.pending_failures.get(self.next_failure) {
+            candidates.push(f.at_micros as f64 / 1e6);
+        }
+        for r in &self.seqs {
+            if matches!(r.state, SeqState::Queued | SeqState::Recovering) {
+                if let Some(d) = r.deadline {
+                    candidates.push(d as f64 / 1e6);
+                }
+            }
+        }
+        candidates
+            .into_iter()
+            .filter(|&t| t > self.now_s)
+            .min_by(f64::total_cmp)
     }
 
     /// Drive a complete timed trace: each request is submitted when the
@@ -581,10 +912,243 @@ impl OnlineServer {
         }
     }
 
+    /// Apply every not-yet-applied chip failure whose time has come: kill
+    /// the chip, shrink capacity to the survivor share, evict every
+    /// resident sequence (each holds KV shards on all 16 chips, so none
+    /// survives a chip death), and shed queue overflow.
+    fn apply_due_faults(&mut self) {
+        while let Some(&f) = self.pending_failures.get(self.next_failure) {
+            if f.at_micros as f64 / 1e6 > self.now_s {
+                break;
+            }
+            self.next_failure += 1;
+            if !self.health.fail(f.chip) {
+                // Already dead (validation forbids duplicates, but a
+                // stale plan must not corrupt accounting).
+                continue;
+            }
+            self.chip_failures_applied += 1;
+            if let Ok(layout) = DegradedLayout::for_health(&self.health) {
+                self.effective_slots = layout.effective_slots(self.slots);
+                self.layout = layout;
+            }
+            self.events.push_back(ServeEvent::ChipFailed {
+                chip: f.chip,
+                t_s: self.now_s,
+            });
+            self.evict_all_resident(f.chip);
+            self.shed_queue_overflow();
+        }
+    }
+
+    /// Evict every resident sequence after `chip` died: free its slot
+    /// (exactly once), harvest communication counters, park the carcass
+    /// (emitted tokens + sampler state survive; the KV context is rebuilt
+    /// at re-admission), and enqueue it for recovery.
+    fn evict_all_resident(&mut self, chip: usize) {
+        let victims = std::mem::take(&mut self.resident);
+        for id in victims {
+            let Some(rec) = self.seqs.get_mut(id.0) else {
+                continue;
+            };
+            let Some(carcass) = rec
+                .slot
+                .take()
+                .and_then(|idx| self.pool.get_mut(idx).and_then(Option::take))
+            else {
+                continue;
+            };
+            self.recovery.evictions += 1;
+            rec.comm += carcass.state.comm;
+            rec.slot_frees += 1;
+            rec.state = SeqState::Recovering;
+            rec.recovered = true;
+            rec.evicted_by = Some(chip);
+            rec.retries = 0;
+            rec.retry_at_s = self.now_s;
+            rec.parked = Some(carcass);
+            self.recovering.push_back(id);
+            self.events.push_back(ServeEvent::Evicted {
+                id,
+                chip,
+                t_s: self.now_s,
+            });
+        }
+    }
+
+    /// Load-shedding under fault pressure: while the backlog (queued +
+    /// recovering) overflows the admission queue's bound, drop the
+    /// *newest* queued requests — queued work is sacrificed before
+    /// admitted work, and earlier arrivals keep their FCFS promise.
+    fn shed_queue_overflow(&mut self) {
+        while self.waiting.len() + self.recovering.len() > self.queue_capacity {
+            let Some(id) = self.waiting.pop_back() else {
+                break;
+            };
+            if let Some(rec) = self.seqs.get_mut(id.0) {
+                rec.state = SeqState::Shed;
+                rec.finish_s = Some(self.now_s);
+                rec.error = Some(ServeError::Shed { id });
+            }
+            self.shed += 1;
+            self.events.push_back(ServeEvent::Shed {
+                id,
+                t_s: self.now_s,
+            });
+        }
+    }
+
+    /// Retire every live sequence whose deadline the clock stands
+    /// strictly past. No-op (and no arithmetic) for plans without
+    /// deadlines.
+    fn enforce_deadlines(&mut self) {
+        if self.faults.deadlines.is_empty() {
+            return;
+        }
+        let expired: Vec<SeqId> = self
+            .seqs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                matches!(
+                    r.state,
+                    SeqState::Queued
+                        | SeqState::Recovering
+                        | SeqState::Prefilling
+                        | SeqState::Decoding
+                ) && r.deadline.is_some_and(|d| self.now_s > d as f64 / 1e6)
+            })
+            .map(|(i, _)| SeqId(i))
+            .collect();
+        for id in expired {
+            self.miss_deadline(id);
+        }
+    }
+
+    /// Retire one sequence whose deadline expired: free any KV slot
+    /// (exactly once), drop any parked carcass, and emit the typed
+    /// outcome.
+    fn miss_deadline(&mut self, id: SeqId) {
+        let Some(rec) = self.seqs.get_mut(id.0) else {
+            return;
+        };
+        let Some(deadline_micros) = rec.deadline else {
+            return;
+        };
+        if let Some(idx) = rec.slot.take() {
+            if let Some(gone) = self.pool.get_mut(idx).and_then(Option::take) {
+                rec.comm += gone.state.comm;
+                rec.slot_frees += 1;
+            }
+        }
+        rec.parked = None;
+        rec.state = SeqState::DeadlineMissed;
+        rec.finish_s = Some(self.now_s);
+        rec.error = Some(ServeError::Deadline {
+            id,
+            deadline_micros,
+        });
+        self.waiting.retain(|&w| w != id);
+        self.recovering.retain(|&r| r != id);
+        self.resident.retain(|&r| r != id);
+        self.events.push_back(ServeEvent::DeadlineMissed {
+            id,
+            t_s: self.now_s,
+        });
+    }
+
+    /// Re-admit evicted sequences, FCFS with exponential backoff:
+    /// admitted work outranks queued work for the survivors' shrunken
+    /// capacity. A due sequence with a free slot re-prefills
+    /// `prompt ++ emitted` into a fresh slot
+    /// ([`BatchedDataflowExecutor::recover_slot`] — token-exact); one
+    /// out of retries is abandoned as [`SeqState::ChipLost`].
+    fn admit_recovering(&mut self) {
+        let queue = std::mem::take(&mut self.recovering);
+        for id in queue {
+            let Some((state, retry_at, retries)) = self
+                .seqs
+                .get(id.0)
+                .map(|r| (r.state, r.retry_at_s, r.retries))
+            else {
+                continue;
+            };
+            if state != SeqState::Recovering {
+                // Cancelled or retired while parked; already accounted.
+                continue;
+            }
+            if retry_at > self.now_s {
+                self.recovering.push_back(id);
+                continue;
+            }
+            if self.resident.len() < self.effective_slots {
+                let Some((carcass, request)) = self
+                    .seqs
+                    .get_mut(id.0)
+                    .and_then(|r| r.parked.take().map(|c| (c, r.request.clone())))
+                else {
+                    continue;
+                };
+                let slot = self.engine.recover_slot(carcass, &request);
+                self.recovery.resumed += 1;
+                self.recovery.re_prefill_tokens += slot.prompt.len() as u64;
+                let idx = match self
+                    .pool
+                    .iter_mut()
+                    .enumerate()
+                    .find(|(_, entry)| entry.is_none())
+                {
+                    Some((free, entry)) => {
+                        *entry = Some(slot);
+                        free
+                    }
+                    None => {
+                        self.pool.push(Some(slot));
+                        self.pool.len() - 1
+                    }
+                };
+                if let Some(rec) = self.seqs.get_mut(id.0) {
+                    rec.state = SeqState::Prefilling;
+                    rec.slot = Some(idx);
+                    rec.admissions += 1;
+                }
+                self.resident.push(id);
+                self.events.push_back(ServeEvent::Recovered {
+                    id,
+                    t_s: self.now_s,
+                });
+            } else if retries >= Self::MAX_RECOVERY_RETRIES {
+                let chip = if let Some(rec) = self.seqs.get_mut(id.0) {
+                    rec.state = SeqState::ChipLost;
+                    rec.finish_s = Some(self.now_s);
+                    rec.parked = None;
+                    rec.evicted_by.unwrap_or(0)
+                } else {
+                    0
+                };
+                if let Some(rec) = self.seqs.get_mut(id.0) {
+                    rec.error = Some(ServeError::ChipLost { id, chip });
+                }
+                self.recovery.failed += 1;
+                self.events.push_back(ServeEvent::ChipLost {
+                    id,
+                    t_s: self.now_s,
+                });
+            } else if let Some(rec) = self.seqs.get_mut(id.0) {
+                rec.retries += 1;
+                // Exponential backoff in round time: 2, 4, … 64 rounds.
+                rec.retry_at_s = self.now_s + self.round_s * retry_round_factor(rec.retries);
+                self.recovering.push_back(id);
+            }
+        }
+    }
+
     /// Admit queued arrivals into free KV slots, FCFS, exactly as the
-    /// offline scheduler does at each round boundary.
+    /// offline scheduler does at each round boundary. Recovering evicted
+    /// sequences re-admit first: admitted work outranks queued work.
     fn admit_waiting(&mut self) {
-        while self.resident.len() < self.slots {
+        self.admit_recovering();
+        while self.resident.len() < self.effective_slots {
             let Some(&id) = self.waiting.front() else {
                 break;
             };
@@ -617,6 +1181,7 @@ impl OnlineServer {
                 rec.state = SeqState::Prefilling;
                 rec.admitted_s = Some(self.now_s);
                 rec.slot = Some(idx);
+                rec.admissions += 1;
             }
             self.resident.push(id);
             self.events.push_back(ServeEvent::Admitted {
@@ -632,7 +1197,23 @@ impl OnlineServer {
     /// chained first decode), execute via the shared batch machinery,
     /// stream the produced tokens, and evict completions.
     fn round(&mut self) {
-        self.now_s += self.round_s;
+        // Stragglers and link faults stretch round time. Fault-free runs
+        // compute `round_s * 1.0 * 1.0`, exact in IEEE f64, so the clock
+        // stays bit-identical to a server without the fault machinery.
+        let health = self.health;
+        let slowdown = self
+            .faults
+            .slowdown_at(self.now_s, |chip| health.is_alive(chip));
+        let link_retries = self.faults.link_retries_at(self.now_s);
+        let stretch = slowdown * retry_round_factor(link_retries);
+        let degraded_round = self.health.is_degraded() || stretch > 1.0;
+        if degraded_round {
+            self.degraded_rounds += 1;
+        }
+        if link_retries > 0 {
+            self.link_retry_rounds += 1;
+        }
+        self.now_s += self.round_s * stretch;
         self.rounds += 1;
         let mut plan = RoundPlan::default();
 
@@ -650,7 +1231,7 @@ impl OnlineServer {
                 decoding += 1;
             }
         }
-        let mut budget = self.slots.saturating_sub(decoding) as u64;
+        let mut budget = self.effective_slots.saturating_sub(decoding) as u64;
 
         // FCFS prefill in admission order; a prefill that completes this
         // round chains straight into its first decode.
@@ -716,12 +1297,25 @@ impl OnlineServer {
                 if let Some(&token) = slot.out.last() {
                     let index = slot.out.len() - 1;
                     rec.tokens.push(token);
+                    // Latency samples from degraded rounds — or from
+                    // sequences that ever went through eviction — land in
+                    // the degraded SLO rows, keeping healthy percentiles
+                    // honest under chaos.
+                    let degraded_sample = degraded_round || rec.recovered;
                     if rec.first_token_s.is_none() {
                         rec.first_token_s = Some(now);
-                        self.ttfts.push(now - rec.arrival_s);
+                        if degraded_sample {
+                            self.ttfts_degraded.push(now - rec.arrival_s);
+                        } else {
+                            self.ttfts.push(now - rec.arrival_s);
+                        }
                     }
                     if let Some(prev) = rec.prev_token_s {
-                        self.gaps.push(now - prev);
+                        if degraded_sample {
+                            self.gaps_degraded.push(now - prev);
+                        } else {
+                            self.gaps.push(now - prev);
+                        }
                     }
                     rec.prev_token_s = Some(now);
                     self.events.push_back(ServeEvent::Token {
@@ -755,7 +1349,9 @@ impl OnlineServer {
                     continue;
                 };
                 if let Some(rec) = self.seqs.get_mut(id.0) {
-                    rec.comm = done.state.comm;
+                    // `+=`: a recovered sequence's pre-eviction counters
+                    // were harvested at eviction time.
+                    rec.comm += done.state.comm;
                     rec.slot = None;
                     rec.slot_frees += 1;
                     rec.state = SeqState::Finished;
@@ -781,6 +1377,10 @@ impl OnlineServer {
         ttfts.sort_by(f64::total_cmp);
         let mut gaps = self.gaps.clone();
         gaps.sort_by(f64::total_cmp);
+        let mut ttfts_degraded = self.ttfts_degraded.clone();
+        ttfts_degraded.sort_by(f64::total_cmp);
+        let mut gaps_degraded = self.gaps_degraded.clone();
+        gaps_degraded.sort_by(f64::total_cmp);
         let mean = |v: &[f64]| {
             if v.is_empty() {
                 0.0
@@ -788,18 +1388,18 @@ impl OnlineServer {
                 v.iter().sum::<f64>() / v.len() as f64
             }
         };
+        let count = |s: SeqState| self.seqs.iter().filter(|r| r.state == s).count();
         SloReport {
             submitted: self.seqs.len(),
-            completed: self
-                .seqs
-                .iter()
-                .filter(|r| r.state == SeqState::Finished)
-                .count(),
-            cancelled: self
-                .seqs
-                .iter()
-                .filter(|r| r.state == SeqState::Cancelled)
-                .count(),
+            completed: count(SeqState::Finished),
+            cancelled: count(SeqState::Cancelled),
+            shed: count(SeqState::Shed),
+            deadline_missed: count(SeqState::DeadlineMissed),
+            chip_lost: count(SeqState::ChipLost),
+            chip_failures: self.chip_failures_applied,
+            recovery: self.recovery,
+            degraded_rounds: self.degraded_rounds,
+            link_retry_rounds: self.link_retry_rounds,
             rejected: self.rejected,
             rounds: self.rounds,
             prefill_tokens: self.prefill_tokens,
@@ -818,6 +1418,10 @@ impl OnlineServer {
             tpot_p50_s: percentile(&gaps, 0.50),
             tpot_p99_s: percentile(&gaps, 0.99),
             tpot_mean_s: mean(&gaps),
+            ttft_degraded_p50_s: percentile(&ttfts_degraded, 0.50),
+            ttft_degraded_p99_s: percentile(&ttfts_degraded, 0.99),
+            tpot_degraded_p50_s: percentile(&gaps_degraded, 0.50),
+            tpot_degraded_p99_s: percentile(&gaps_degraded, 0.99),
         }
     }
 
@@ -837,6 +1441,8 @@ impl OnlineServer {
                 tokens: r.tokens.clone(),
                 comm: r.comm,
                 slot_frees: r.slot_frees,
+                admissions: r.admissions,
+                error: r.error,
             })
             .collect();
         ServeReport {
@@ -1072,5 +1678,279 @@ mod tests {
     fn percentile_of_empty_is_zero() {
         assert_eq!(percentile(&[], 0.5), 0.0);
         assert_eq!(percentile(&[2.0], 0.99), 2.0);
+    }
+
+    // ---- fault injection ----
+
+    use crate::fault::{Deadline, LinkFault, Straggler};
+
+    fn fault_server(queue_capacity: usize, faults: FaultPlan) -> OnlineServer {
+        OnlineServer::with_faults(engine(), &scheduler(), queue_capacity, faults)
+            .expect("valid plan")
+    }
+
+    fn kill(at_micros: u64, chip: usize) -> FaultPlan {
+        FaultPlan {
+            chip_failures: vec![ChipFailure { at_micros, chip }],
+            ..FaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_typed() {
+        let err = OnlineServer::with_faults(engine(), &scheduler(), 4, kill(0, 99))
+            .expect_err("chip 99 does not exist");
+        assert_eq!(
+            err,
+            ServeError::InvalidFaultPlan {
+                error: FaultError::ChipOutOfRange { chip: 99 }
+            }
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_faultless_server() {
+        let requests = vec![
+            SequenceRequest::greedy(0, vec![1, 5, 9], 8),
+            SequenceRequest::greedy(40_000, vec![100, 2], 5),
+        ];
+        let mut plain = server(8);
+        let mut chaos = fault_server(8, FaultPlan::none());
+        let a = plain.run_trace(&requests, &[]);
+        let b = chaos.run_trace(&requests, &[]);
+        assert_eq!(a.report.plans, b.report.plans);
+        assert_eq!(a.report.slo, b.report.slo);
+        for (x, y) in a.report.outcomes.iter().zip(&b.report.outcomes) {
+            assert_eq!(x.tokens, y.tokens);
+            assert_eq!(x.finish_s, y.finish_s);
+        }
+        assert!(b.report.slo.recovery.is_clean());
+        assert_eq!(b.report.slo.degraded_rounds, 0);
+    }
+
+    #[test]
+    fn chip_failure_evicts_recovers_and_resumes_token_exact() {
+        let requests = vec![
+            SequenceRequest::greedy(0, vec![1, 5, 9], 40),
+            SequenceRequest::greedy(0, vec![100, 2], 40),
+        ];
+        let baseline = server(8).run_trace(&requests, &[]);
+        let mid = (baseline.report.slo.makespan_s * 1e6 / 2.0) as u64;
+        let mut chaos = fault_server(8, kill(mid, 5));
+        let outcome = chaos.run_trace(&requests, &[]);
+        // Survivor capacity: 15 of 16 chips keep 15/16 of the slots.
+        assert!(chaos.grid_health().is_degraded());
+        assert_eq!(chaos.effective_slots(), 216 * 15 / 16);
+        assert!(!chaos.degraded_layout().is_identity());
+        let slo = &outcome.report.slo;
+        assert_eq!(slo.chip_failures, 1);
+        assert_eq!(slo.recovery.evictions, 2);
+        assert_eq!(slo.recovery.resumed, 2);
+        assert_eq!(slo.recovery.failed, 0);
+        assert!(slo.recovery.re_prefill_tokens > 0);
+        assert!(slo.degraded_rounds > 0);
+        // The recovered streams are bit-identical to the fault-free run:
+        // re-prefilling prompt ++ emitted reconstructs the exact context.
+        for (out, base) in outcome
+            .report
+            .outcomes
+            .iter()
+            .zip(&baseline.report.outcomes)
+        {
+            assert_eq!(out.state, SeqState::Finished);
+            assert_eq!(out.tokens, base.tokens);
+            assert_eq!(out.admissions, 2, "evicted once, admitted twice");
+            assert_eq!(out.slot_frees, 2, "freed at eviction and at finish");
+        }
+        // Degraded latency rows got the post-eviction samples.
+        assert!(slo.ttft_degraded_p50_s > 0.0 || slo.tpot_degraded_p50_s > 0.0);
+    }
+
+    #[test]
+    fn deadline_expiry_is_typed_and_frees_the_slot_once() {
+        let faults = FaultPlan {
+            deadlines: vec![Deadline {
+                submission: 0,
+                at_micros: 5_000,
+            }],
+            ..FaultPlan::none()
+        };
+        let requests = vec![
+            SequenceRequest::greedy(0, vec![1, 5, 9], 500),
+            SequenceRequest::greedy(0, vec![4, 4], 5),
+        ];
+        let mut chaos = fault_server(8, faults);
+        let outcome = chaos.run_trace(&requests, &[]);
+        let missed = &outcome.report.outcomes[0];
+        assert_eq!(missed.state, SeqState::DeadlineMissed);
+        assert_eq!(
+            missed.error,
+            Some(ServeError::Deadline {
+                id: SeqId(0),
+                deadline_micros: 5_000,
+            })
+        );
+        assert_eq!(missed.slot_frees, missed.admissions);
+        assert_eq!(outcome.report.outcomes[1].state, SeqState::Finished);
+        assert_eq!(outcome.report.slo.deadline_missed, 1);
+        assert_eq!(outcome.report.slo.completed, 1);
+    }
+
+    #[test]
+    fn queued_requests_are_shed_before_admitted_ones() {
+        let mut chaos = fault_server(2, kill(10_000, 3));
+        let a = chaos
+            .submit(SequenceRequest::greedy(0, vec![1, 2, 3], 60))
+            .expect("admits");
+        // Admit `a` so the capacity-2 queue is free for the two future
+        // arrivals (they stay queued until the clock reaches them).
+        chaos.admit_waiting();
+        assert_eq!(chaos.resident(), 1);
+        let b = chaos
+            .submit(SequenceRequest::greedy(20_000, vec![5], 4))
+            .expect("queued");
+        let c = chaos
+            .submit(SequenceRequest::greedy(25_000, vec![6], 4))
+            .expect("queued");
+        chaos.run_until_idle();
+        // The failure evicts resident `a`; backlog (1 recovering + 2
+        // queued) overflows the capacity-2 queue, shedding the newest
+        // queued request — never the admitted one.
+        assert_eq!(chaos.state_of(c), Some(SeqState::Shed));
+        assert_eq!(chaos.state_of(a), Some(SeqState::Finished));
+        assert_eq!(chaos.state_of(b), Some(SeqState::Finished));
+        let report = chaos.report();
+        assert_eq!(report.slo.shed, 1);
+        assert_eq!(report.outcomes[c.0].error, Some(ServeError::Shed { id: c }));
+        assert_eq!(report.outcomes[c.0].slot_frees, 0);
+    }
+
+    #[test]
+    fn straggler_stretches_the_clock_without_changing_tokens() {
+        let requests = vec![SequenceRequest::greedy(0, vec![7, 3], 12)];
+        let baseline = server(4).run_trace(&requests, &[]);
+        let faults = FaultPlan {
+            stragglers: vec![Straggler {
+                chip: 9,
+                from_micros: 0,
+                until_micros: u64::MAX,
+                slowdown: 4.0,
+            }],
+            ..FaultPlan::none()
+        };
+        let mut chaos = fault_server(4, faults);
+        let outcome = chaos.run_trace(&requests, &[]);
+        assert_eq!(
+            outcome.report.outcomes[0].tokens,
+            baseline.report.outcomes[0].tokens
+        );
+        let slo = &outcome.report.slo;
+        assert!(slo.makespan_s > baseline.report.slo.makespan_s * 3.5);
+        assert_eq!(slo.degraded_rounds, slo.rounds);
+        // Every latency sample is a degraded one; healthy rows are empty.
+        assert_eq!(slo.ttft_p50_s, 0.0);
+        assert!(slo.ttft_degraded_p50_s > 0.0);
+    }
+
+    #[test]
+    fn link_faults_stretch_and_count_rounds() {
+        let requests = vec![SequenceRequest::greedy(0, vec![7, 3], 12)];
+        let baseline = server(4).run_trace(&requests, &[]);
+        let faults = FaultPlan {
+            link_faults: vec![LinkFault {
+                from_micros: 0,
+                until_micros: u64::MAX,
+                retries: 1,
+            }],
+            ..FaultPlan::none()
+        };
+        let mut chaos = fault_server(4, faults);
+        let outcome = chaos.run_trace(&requests, &[]);
+        assert_eq!(
+            outcome.report.outcomes[0].tokens,
+            baseline.report.outcomes[0].tokens
+        );
+        let slo = &outcome.report.slo;
+        assert_eq!(slo.link_retry_rounds, slo.rounds);
+        // One retry doubles each round.
+        let ratio = slo.makespan_s / baseline.report.slo.makespan_s;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn cancelling_a_recovering_sequence_retires_it() {
+        let mut chaos = fault_server(4, kill(10_000, 0));
+        let id = chaos
+            .submit(SequenceRequest::greedy(0, vec![1, 2, 3], 500))
+            .expect("admits");
+        // Run until the eviction lands.
+        while chaos.state_of(id) != Some(SeqState::Recovering) {
+            chaos.admit_waiting();
+            chaos.round();
+            chaos.apply_due_faults();
+        }
+        chaos.cancel(id).expect("recovering is live");
+        assert_eq!(chaos.state_of(id), Some(SeqState::Cancelled));
+        assert_eq!(chaos.recovering(), 0);
+        chaos.run_until_idle();
+        let report = chaos.report();
+        assert_eq!(report.outcomes[0].slot_frees, 1);
+        assert_eq!(report.outcomes[0].admissions, 1);
+        assert_eq!(report.slo.recovery.evictions, 1);
+        assert_eq!(report.slo.recovery.resumed, 0);
+    }
+
+    #[test]
+    fn chip_loss_after_exhausted_retries_is_typed() {
+        // Kill 15 of 16 chips: the lone survivor keeps 1/16 of the
+        // slots, so most of the evicted fleet cannot fit back.
+        let card = zoo::dataflow_test_model();
+        let w = ModelWeights::materialize(&card.config, &WeightGenerator::new(2026));
+        let eng = BatchedDataflowExecutor::new(DataflowExecutor::new(w), 216);
+        let sched = scheduler();
+        let mut chaos = OnlineServer::with_faults(
+            eng,
+            &sched,
+            8,
+            FaultPlan {
+                chip_failures: (0..15)
+                    .map(|i| ChipFailure {
+                        at_micros: 10_000 + i as u64,
+                        chip: i,
+                    })
+                    .collect(),
+                ..FaultPlan::none()
+            },
+        )
+        .expect("valid plan");
+        // 15 dead chips leave effective_slots = max(216/16, 1) = 13; far
+        // fewer than 20 long sequences, so some recoveries starve through
+        // the whole ~126-round backoff ladder and exhaust their retries.
+        let requests: Vec<SequenceRequest> = (0..20)
+            .map(|i| SequenceRequest::greedy(0, vec![1 + i as u32], 400))
+            .collect();
+        let outcome = chaos.run_trace(&requests, &[]);
+        assert_eq!(chaos.effective_slots(), 216 / 16);
+        let slo = &outcome.report.slo;
+        assert_eq!(slo.chip_failures, 15);
+        let lost: Vec<_> = outcome
+            .report
+            .outcomes
+            .iter()
+            .filter(|o| o.state == SeqState::ChipLost)
+            .collect();
+        assert_eq!(lost.len(), slo.chip_lost);
+        assert_eq!(slo.recovery.failed, slo.chip_lost as u64);
+        for o in &lost {
+            assert!(matches!(o.error, Some(ServeError::ChipLost { .. })));
+            assert_eq!(o.slot_frees, o.admissions);
+        }
+        // Everyone else still finished, token-exact continuation included.
+        assert_eq!(
+            slo.completed + slo.chip_lost,
+            20,
+            "every sequence retired one way or the other"
+        );
+        assert!(slo.completed > 0);
     }
 }

@@ -57,6 +57,24 @@ pub fn all_chip_all_reduce_cycles(bytes: u64, cfg: &SimConfig) -> f64 {
     2.0 * collective_cycles(CollectiveKind::AllReduce, bytes, cfg)
 }
 
+/// Round-time stretch when a transient link fault forces `retries`
+/// link-layer retransmissions: each retry replays the exchange, doubling
+/// the effective round time (`2^retries`).
+///
+/// `retries == 0` returns exactly `1.0` — a fault-free round's timing is
+/// bit-identical with or without the fault machinery in the loop, which
+/// the serving differential harness depends on. Retries are clamped at 32
+/// to keep the factor finite for absurd plans.
+pub fn retry_round_factor(retries: u32) -> f64 {
+    (1u64 << retries.min(32)) as f64
+}
+
+/// Collective time under `retries` link-layer retransmissions per round,
+/// nanoseconds: [`collective_ns`] stretched by [`retry_round_factor`].
+pub fn collective_retry_ns(kind: CollectiveKind, bytes: u64, retries: u32, cxl: &CxlParams) -> f64 {
+    collective_ns(kind, bytes, cxl) * retry_round_factor(retries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +110,28 @@ mod tests {
         let one = collective_cycles(CollectiveKind::AllReduce, 4096, &cfg);
         let all = all_chip_all_reduce_cycles(4096, &cfg);
         assert!((all - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_retries_is_exactly_unity() {
+        // The fault-free differential invariant: stretching by the retry
+        // factor at 0 retries must be a bit-exact no-op.
+        assert_eq!(retry_round_factor(0), 1.0);
+        let cxl = CxlParams::default();
+        let plain = collective_ns(CollectiveKind::AllReduce, 2048, &cxl);
+        let faulted = collective_retry_ns(CollectiveKind::AllReduce, 2048, 0, &cxl);
+        assert_eq!(plain.to_bits(), faulted.to_bits());
+    }
+
+    #[test]
+    fn retries_double_per_retransmission_and_clamp() {
+        assert_eq!(retry_round_factor(1), 2.0);
+        assert_eq!(retry_round_factor(3), 8.0);
+        assert_eq!(retry_round_factor(40), retry_round_factor(32));
+        let cxl = CxlParams::default();
+        let base = collective_ns(CollectiveKind::Reduce, 4096, &cxl);
+        let twice = collective_retry_ns(CollectiveKind::Reduce, 4096, 1, &cxl);
+        assert_eq!(twice, base * 2.0);
     }
 
     #[test]

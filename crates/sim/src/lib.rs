@@ -38,7 +38,7 @@ pub mod workload;
 
 pub use config::{CxlParams, SimConfig};
 pub use engine::HnlpuEngine;
-pub use fabric::{collective_cycles, CollectiveKind};
+pub use fabric::{collective_cycles, collective_retry_ns, retry_round_factor, CollectiveKind};
 pub use hbm::KvCacheModel;
 pub use packet::{PacketFabric, PacketSim, PacketSimReport};
 pub use pipeline::{Breakdown, LayerTiming};

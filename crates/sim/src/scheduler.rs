@@ -95,6 +95,10 @@ pub struct BatchScheduler {
     cfg: SimConfig,
     /// Average context assumed for interval computation.
     pub nominal_context: u64,
+    /// Optional cap on concurrent sequences below the machine's pipeline
+    /// slots — a degraded grid (dead chips) plans with the surviving
+    /// capacity. `None` uses the full machine.
+    slot_cap: Option<usize>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -114,12 +118,28 @@ impl BatchScheduler {
         BatchScheduler {
             cfg,
             nominal_context,
+            slot_cap: None,
         }
     }
 
-    /// Concurrent-sequence capacity (the machine's pipeline slots).
+    /// Cap concurrent sequences at `cap` (clamped to at least 1 and at
+    /// most the machine's pipeline slots): the slot budget a degraded
+    /// grid's survivors can actually serve. Round timing is unchanged —
+    /// the pipeline still traverses every stage; dead chips just host no
+    /// sequences.
+    pub fn with_slot_cap(mut self, cap: usize) -> Self {
+        self.slot_cap = Some(cap.max(1));
+        self
+    }
+
+    /// Concurrent-sequence capacity (the machine's pipeline slots, less
+    /// any degraded-grid cap).
     pub fn slots(&self) -> usize {
-        self.cfg.pipeline_slots() as usize
+        let machine = self.cfg.pipeline_slots() as usize;
+        match self.slot_cap {
+            Some(cap) => cap.min(machine),
+            None => machine,
+        }
     }
 
     /// Virtual-time length of one pipeline round, seconds: every slot
@@ -261,6 +281,29 @@ mod tests {
 
     fn scheduler() -> BatchScheduler {
         BatchScheduler::new(SimConfig::paper_default(), 2048)
+    }
+
+    #[test]
+    fn slot_cap_bounds_concurrency_not_round_time() {
+        let full = scheduler();
+        let capped = scheduler().with_slot_cap(2);
+        assert_eq!(capped.slots(), 2);
+        assert_eq!(capped.round_s(), full.round_s());
+        // Zero clamps to one slot; an over-machine cap clamps to machine.
+        assert_eq!(scheduler().with_slot_cap(0).slots(), 1);
+        assert_eq!(scheduler().with_slot_cap(usize::MAX).slots(), full.slots());
+        // With 2 slots, 3 concurrent arrivals serialize: never > 2 live.
+        let reqs: Vec<Request> = (0..3).map(|_| Request::new(0, 1, 2)).collect();
+        let (_, plans) = capped.plan(&reqs);
+        for plan in &plans {
+            let mut live: Vec<usize> = plan.decode.clone();
+            for &(seq, _) in &plan.prefill {
+                if !live.contains(&seq) {
+                    live.push(seq);
+                }
+            }
+            assert!(live.len() <= 2, "round exceeded the slot cap: {plan:?}");
+        }
     }
 
     #[test]
