@@ -1,0 +1,427 @@
+//! Pass 1½ of the interprocedural analysis: call-graph resolution and
+//! reachability.
+//!
+//! Resolution is deliberately *conservative* (over-approximate): with no
+//! type information, a method call `.foo(…)` may dispatch to any
+//! workspace fn named `foo`, and an unqualified `foo(…)` with no
+//! same-file definition may be any workspace `foo`. Qualified calls
+//! (`kernels::matvec(…)`, `KvCache::append(…)`) narrow by matching the
+//! qualifier against the defining file's module stem (CamelCase type
+//! qualifiers are snake_cased first, so `KvCache::…` matches
+//! `kv_cache.rs`). When the qualifier matches nothing — a trait path, a
+//! std type — the edge falls back to every same-named fn. Cycles are
+//! harmless: reachability is a visited-set BFS.
+
+use crate::lexer::Annotation;
+use crate::symbols::{CallTarget, FnSymbol, SymbolTable};
+use std::collections::VecDeque;
+
+/// Method names that are overwhelmingly std trait/inherent calls
+/// (`.len()`, `.parse()`, `.all(…)`). Resolving these conservatively
+/// links every iterator chain to any same-named workspace fn and drowns
+/// the graph in false edges (`.all(…)` must not make the experiments
+/// runner `all()` hot). Method *sugar* on these names is therefore not
+/// resolved — the precision/recall tradeoff is documented in DESIGN.md.
+/// Qualified calls (`SourceModel::parse(…)`) and plain calls still
+/// resolve regardless of name, and workspace fns with these names remain
+/// fully checked by the per-file rules.
+const COMMON_STD_METHODS: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "chain",
+    "chars",
+    "clear",
+    "clone",
+    "cmp",
+    "collect",
+    "contains",
+    "count",
+    "dedup",
+    "default",
+    "drop",
+    "ends_with",
+    "enumerate",
+    "eq",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "flush",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "last",
+    "len",
+    "map",
+    "max",
+    "min",
+    "new",
+    "next",
+    "parse",
+    "partial_cmp",
+    "position",
+    "pop",
+    "product",
+    "push",
+    "read",
+    "remove",
+    "replace",
+    "resize",
+    "retain",
+    "rev",
+    "skip",
+    "sort",
+    "sort_by",
+    "split",
+    "starts_with",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "try_from",
+    "try_into",
+    "unwrap_or",
+    "write",
+    "zip",
+];
+
+/// Resolved call graph: adjacency list over [`SymbolTable::fns`] indices.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `callees[f]` = fns that fn `f` may call (sorted, deduped).
+    pub callees: Vec<Vec<usize>>,
+    /// Total resolved edges (after dedup).
+    pub edge_count: usize,
+}
+
+impl CallGraph {
+    /// Resolve every call site in `table` to candidate callees.
+    pub fn resolve(table: &SymbolTable) -> CallGraph {
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); table.fns.len()];
+        for call in &table.calls {
+            let targets = resolve_target(table, call.caller, &call.target);
+            callees[call.caller].extend(targets);
+        }
+        let mut edge_count = 0usize;
+        for list in &mut callees {
+            list.sort_unstable();
+            list.dedup();
+            edge_count += list.len();
+        }
+        CallGraph {
+            callees,
+            edge_count,
+        }
+    }
+}
+
+/// Candidate callee fn ids for one call target.
+fn resolve_target(table: &SymbolTable, caller: usize, target: &CallTarget) -> Vec<usize> {
+    match target {
+        // Unknown receiver: every workspace fn with this name — except
+        // std-ubiquitous method names, which would flood the graph.
+        CallTarget::Method(name) => {
+            if COMMON_STD_METHODS.contains(&name.as_str()) {
+                Vec::new()
+            } else {
+                table.fns_named(name).to_vec()
+            }
+        }
+        CallTarget::Plain(segs) => {
+            let Some(name) = segs.last() else {
+                return Vec::new();
+            };
+            let candidates = table.fns_named(name);
+            if candidates.is_empty() {
+                return Vec::new(); // std / extern call
+            }
+            if segs.len() == 1 {
+                // Unqualified: a same-file fn shadows the rest.
+                let caller_path = table.fns.get(caller).map(|f| f.path.as_str());
+                let same_file: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| Some(table.fns[id].path.as_str()) == caller_path)
+                    .collect();
+                if !same_file.is_empty() {
+                    return same_file;
+                }
+                // Cross-file fallback on a std-ubiquitous name is noise.
+                if COMMON_STD_METHODS.contains(&name.as_str()) {
+                    return Vec::new();
+                }
+                return candidates.to_vec();
+            }
+            // Qualified: narrow by the segment before the fn name; `crate`
+            // / `self` / `super` narrow to the caller's crate instead.
+            let qualifier = &segs[segs.len() - 2];
+            let narrowed: Vec<usize> = if matches!(qualifier.as_str(), "crate" | "self" | "super") {
+                let caller_crate = table.fns.get(caller).map(|f| f.crate_name.as_str());
+                candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| Some(table.fns[id].crate_name.as_str()) == caller_crate)
+                    .collect()
+            } else {
+                candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| qualifier_matches(&table.fns[id], qualifier))
+                    .collect()
+            };
+            if narrowed.is_empty() {
+                // The qualifier names no workspace module or crate. For a
+                // distinctive fn name this is likely a trait call routed
+                // through a type alias — stay conservative. For a
+                // std-ubiquitous name (`OnceLock::new`, `f32::from`) the
+                // fallback would wire the caller to every constructor in
+                // the workspace, so resolve to nothing instead.
+                if COMMON_STD_METHODS.contains(&name.as_str()) {
+                    Vec::new()
+                } else {
+                    candidates.to_vec()
+                }
+            } else {
+                narrowed
+            }
+        }
+    }
+}
+
+/// Does `qualifier` name the module that defines `f`? Matches the file
+/// stem directly (`kernels::…`) or as a snake_cased type name
+/// (`KvCache::…` vs `kv_cache.rs`), or the crate directory name.
+fn qualifier_matches(f: &FnSymbol, qualifier: &str) -> bool {
+    if f.module == *qualifier || f.crate_name == *qualifier {
+        return true;
+    }
+    to_snake(qualifier) == f.module
+}
+
+/// `CamelCase` → `camel_case`.
+fn to_snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Reachability over the call graph from a set of root fns.
+#[derive(Debug)]
+pub struct Reachability {
+    /// `reached[f]` — fn `f` is a root or transitively callable from one.
+    pub reached: Vec<bool>,
+    /// BFS parent of each reached non-root fn (for diagnostic chains).
+    pub parent: Vec<Option<usize>>,
+}
+
+impl Reachability {
+    /// BFS from `roots`. Test fns never propagate (a call in a test body
+    /// does not make the callee hot), and when `cold_is_barrier` is set a
+    /// `// analyze: cold` fn absorbs the walk — that annotation is the
+    /// documented opt-out for init-time code reachable from hot spans.
+    pub fn compute(
+        table: &SymbolTable,
+        graph: &CallGraph,
+        roots: &[usize],
+        cold_is_barrier: bool,
+    ) -> Reachability {
+        let n = table.fns.len();
+        let mut reached = vec![false; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if r < n && !reached[r] && !table.fns[r].is_test {
+                reached[r] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &callee in &graph.callees[f] {
+                if reached[callee] || table.fns[callee].is_test {
+                    continue;
+                }
+                if cold_is_barrier && table.fns[callee].annotation == Some(Annotation::Cold) {
+                    continue;
+                }
+                reached[callee] = true;
+                parent[callee] = Some(f);
+                queue.push_back(callee);
+            }
+        }
+        Reachability { reached, parent }
+    }
+
+    /// Render the root→…→`f` chain as `a → b → c` fn names.
+    pub fn chain(&self, table: &SymbolTable, f: usize) -> String {
+        let mut names: Vec<&str> = Vec::new();
+        let mut cur = Some(f);
+        // The parent map is acyclic by construction (BFS tree), but cap the
+        // walk anyway so a future bug degrades to a truncated chain.
+        for _ in 0..=table.fns.len() {
+            let Some(id) = cur else {
+                break;
+            };
+            names.push(table.fns[id].name.as_str());
+            cur = self.parent[id];
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileInput;
+
+    fn graph_of(files: &[(&str, &str)]) -> (SymbolTable, CallGraph) {
+        let inputs: Vec<FileInput> = files.iter().map(|(p, s)| FileInput::new(p, s)).collect();
+        let table = SymbolTable::build(&inputs);
+        let graph = CallGraph::resolve(&table);
+        (table, graph)
+    }
+
+    fn id_of(table: &SymbolTable, name: &str) -> usize {
+        table
+            .fns
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or(usize::MAX)
+    }
+
+    #[test]
+    fn cross_file_plain_call_resolves() {
+        let (t, g) = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry() {\n    helper();\n}\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        let entry = id_of(&t, "entry");
+        assert_eq!(g.callees[entry], vec![id_of(&t, "helper")]);
+    }
+
+    #[test]
+    fn same_file_definition_shadows_foreign_ones() {
+        let (t, g) = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry() {\n    helper();\n}\nfn helper() {}\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        let entry = id_of(&t, "entry");
+        let local = t
+            .fns
+            .iter()
+            .position(|f| f.name == "helper" && f.path.contains("/a/"));
+        assert_eq!(g.callees[entry], vec![local.unwrap_or(usize::MAX)]);
+    }
+
+    #[test]
+    fn qualified_call_narrows_by_module_and_type_name() {
+        let (t, g) = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry() {\n    kernels::go();\n    KvCache::append();\n}\n",
+            ),
+            ("crates/llm/src/kernels.rs", "pub fn go() {}\n"),
+            ("crates/llm/src/kv_cache.rs", "pub fn append() {}\n"),
+            (
+                "crates/other/src/misc.rs",
+                "pub fn go() {}\npub fn append() {}\n",
+            ),
+        ]);
+        let entry = id_of(&t, "entry");
+        let kernels_go = t
+            .fns
+            .iter()
+            .position(|f| f.name == "go" && f.module == "kernels");
+        let kv_append = t
+            .fns
+            .iter()
+            .position(|f| f.name == "append" && f.module == "kv_cache");
+        assert!(g.callees[entry].contains(&kernels_go.unwrap_or(usize::MAX)));
+        assert!(g.callees[entry].contains(&kv_append.unwrap_or(usize::MAX)));
+        assert_eq!(g.callees[entry].len(), 2);
+    }
+
+    #[test]
+    fn method_call_is_conservative() {
+        let (t, g) = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry(x: &T) {\n    x.advance();\n}\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn advance() {}\n"),
+            ("crates/c/src/lib.rs", "pub fn advance() {}\n"),
+        ]);
+        let entry = id_of(&t, "entry");
+        assert_eq!(g.callees[entry].len(), 2);
+    }
+
+    #[test]
+    fn cycles_terminate_and_reach_everything() {
+        let (t, g) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn a() {\n    b();\n}\npub fn b() {\n    a();\n    c();\n}\npub fn c() {}\n",
+        )]);
+        let r = Reachability::compute(&t, &g, &[id_of(&t, "a")], true);
+        assert!(r.reached[id_of(&t, "a")]);
+        assert!(r.reached[id_of(&t, "b")]);
+        assert!(r.reached[id_of(&t, "c")]);
+        assert_eq!(r.chain(&t, id_of(&t, "c")), "a -> b -> c");
+    }
+
+    #[test]
+    fn cold_annotation_is_a_propagation_barrier() {
+        let (t, g) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn hot() {\n    setup();\n}\n\n// analyze: cold\nfn setup() {\n    alloc_helper();\n}\nfn alloc_helper() {}\n",
+        )]);
+        let r = Reachability::compute(&t, &g, &[id_of(&t, "hot")], true);
+        assert!(!r.reached[id_of(&t, "setup")]);
+        assert!(!r.reached[id_of(&t, "alloc_helper")]);
+        let r2 = Reachability::compute(&t, &g, &[id_of(&t, "hot")], false);
+        assert!(r2.reached[id_of(&t, "setup")]);
+    }
+
+    #[test]
+    fn test_fns_do_not_propagate() {
+        let (t, g) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn target() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        super::target();\n    }\n}\n",
+        )]);
+        let r = Reachability::compute(&t, &g, &[id_of(&t, "t")], true);
+        assert!(!r.reached[id_of(&t, "target")]);
+    }
+}

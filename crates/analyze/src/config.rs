@@ -45,6 +45,14 @@ pub struct Config {
     /// Files where slice-indexing is audited by panic-policy (paths fed
     /// by external/fallible input).
     pub index_paths: Vec<String>,
+    /// Files audited by the arith-overflow rule (virtual-time/accounting
+    /// integer math).
+    pub arith_paths: Vec<String>,
+    /// `_`-delimited identifier components the arith-overflow rule tracks
+    /// (`micros`, `tokens`, …).
+    pub arith_tracked: Vec<String>,
+    /// Files audited by the lossy-cast rule.
+    pub cast_paths: Vec<String>,
     /// Allowlist entries, in file order.
     pub allows: Vec<Allow>,
 }
@@ -133,7 +141,7 @@ impl Config {
                 finish_allow(&mut cfg, &mut current_allow)?;
                 section = name.trim().to_string();
                 match section.as_str() {
-                    "hot_path" | "determinism" | "panic_policy" => {}
+                    "hot_path" | "determinism" | "panic_policy" | "arith" | "casts" => {}
                     other => return Err(err(line_no, format!("unknown section [{other}]"))),
                 }
                 continue;
@@ -151,6 +159,9 @@ impl Config {
                     cfg.mul_add_allowed_in = expect_list(value, line_no)?
                 }
                 ("panic_policy", "index_paths") => cfg.index_paths = expect_list(value, line_no)?,
+                ("arith", "paths") => cfg.arith_paths = expect_list(value, line_no)?,
+                ("arith", "tracked") => cfg.arith_tracked = expect_list(value, line_no)?,
+                ("casts", "paths") => cfg.cast_paths = expect_list(value, line_no)?,
                 ("allow", k) => {
                     let Some((allow, _)) = current_allow.as_mut() else {
                         return Err(err(line_no, "key outside of any [[allow]] entry".into()));
@@ -321,6 +332,17 @@ reason = "rows fixed at construction"
         assert_eq!(cfg.allows.len(), 2);
         assert_eq!(cfg.allows[0].pattern.as_deref(), Some("Instant::now"));
         assert_eq!(cfg.allows[1].line, Some(258));
+    }
+
+    #[test]
+    fn arith_and_casts_sections_parse() {
+        let cfg = Config::parse(
+            "[arith]\npaths = [\"serve.rs\"]\ntracked = [\"micros\", \"tokens\"]\n\n[casts]\npaths = [\"serve.rs\", \"fault.rs\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.arith_paths, vec!["serve.rs"]);
+        assert_eq!(cfg.arith_tracked, vec!["micros", "tokens"]);
+        assert_eq!(cfg.cast_paths, vec!["serve.rs", "fault.rs"]);
     }
 
     #[test]

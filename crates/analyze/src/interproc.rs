@@ -1,0 +1,241 @@
+//! Pass 2 of the interprocedural analysis: propagate hotness and
+//! determinism taint over the call graph and check the reached fns.
+//!
+//! Roots:
+//! * **hotness** — every non-cold fn in a configured `[hot_path]` module
+//!   plus every fn annotated `// analyze: hot`. Any fn transitively
+//!   callable from those must be allocation-free, exactly like the roots
+//!   themselves; `// analyze: cold` is the documented barrier for
+//!   init-time code a hot span can reach (constructors, error paths).
+//! * **determinism taint** — every fn in a configured `[determinism]`
+//!   path. Anything the differential-tested serving path can call runs
+//!   during replay, so ambient nondeterminism (unordered maps,
+//!   wall-clock, OS RNG) is banned there too. No cold barrier: an
+//!   init-time fn still executes inside the differential run.
+//!
+//! Findings reuse the per-file rule ids (`hot-path-alloc`,
+//! `determinism`) so one allowlist grammar covers both passes; the
+//! message carries the root→…→fn call chain so a cross-crate finding is
+//! actionable without re-deriving the path by hand.
+
+use crate::callgraph::{CallGraph, Reachability};
+use crate::config::Config;
+use crate::lexer::Annotation;
+use crate::rules::{alloc, determinism, in_path_set, FileInput, Violation};
+use crate::symbols::SymbolTable;
+use std::collections::BTreeMap;
+
+/// Interprocedural pass statistics, surfaced in the JSON report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterprocStats {
+    /// Function definitions indexed by pass 1.
+    pub fns_indexed: usize,
+    /// Resolved (deduped) call edges.
+    pub call_edges: usize,
+    /// Fns reachable from a hot root (roots included).
+    pub hot_reachable: usize,
+    /// Fns reachable from a determinism root (roots included).
+    pub determinism_tainted: usize,
+}
+
+/// Run the interprocedural pass over the lexed workspace.
+pub fn check(files: &[FileInput], cfg: &Config) -> (Vec<Violation>, InterprocStats) {
+    let table = SymbolTable::build(files);
+    let graph = CallGraph::resolve(&table);
+    let by_path: BTreeMap<&str, &FileInput> =
+        files.iter().map(|f| (f.rel_path.as_str(), f)).collect();
+
+    let mut hot_roots = Vec::new();
+    let mut det_roots = Vec::new();
+    for (id, f) in table.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let in_hot_module = in_path_set(&f.path, &cfg.hot_modules);
+        let hot_root = match f.annotation {
+            Some(Annotation::Hot) => true,
+            Some(Annotation::Cold) => false,
+            None => in_hot_module,
+        };
+        if hot_root {
+            hot_roots.push(id);
+        }
+        if in_path_set(&f.path, &cfg.determinism_paths) {
+            det_roots.push(id);
+        }
+    }
+
+    let hot = Reachability::compute(&table, &graph, &hot_roots, true);
+    let det = Reachability::compute(&table, &graph, &det_roots, false);
+
+    let mut out = Vec::new();
+    for (id, f) in table.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let Some(file) = by_path.get(f.path.as_str()) else {
+            continue;
+        };
+        // A fn the per-file rule already audits (hot module / annotation /
+        // determinism path) is skipped here: pass 2 only adds the
+        // *propagated* obligations, it never double-reports.
+        let per_file_hot = match f.annotation {
+            Some(Annotation::Hot) => true,
+            Some(Annotation::Cold) => true, // annotated: deliberate opt-out
+            None => in_path_set(&f.path, &cfg.hot_modules),
+        };
+        if hot.reached[id] && !per_file_hot {
+            let chain = hot.chain(&table, id);
+            for line in f.body_start..=f.body_end {
+                let Some(text) = file.model.code.get(line - 1) else {
+                    continue;
+                };
+                if file.model.in_test(line) {
+                    continue;
+                }
+                let mut seen: Option<&str> = None;
+                for &(needle, pat) in alloc::PATTERNS {
+                    if text.contains(needle) && seen != Some(pat) {
+                        seen = Some(pat);
+                        out.push(Violation {
+                            rule: "hot-path-alloc",
+                            pattern: pat.to_string(),
+                            path: f.path.clone(),
+                            line,
+                            message: format!(
+                                "allocating call `{pat}` in `{}`, reachable from the decode \
+                                 hot path ({chain}) — hoist the allocation or annotate the \
+                                 fn `// analyze: cold` if the hot caller cannot reach it at \
+                                 steady state",
+                                f.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if det.reached[id] && !in_path_set(&f.path, &cfg.determinism_paths) {
+            let chain = det.chain(&table, id);
+            for line in f.body_start..=f.body_end {
+                let Some(text) = file.model.code.get(line - 1) else {
+                    continue;
+                };
+                if file.model.in_test(line) {
+                    continue;
+                }
+                for &(needle, pat) in determinism::AMBIENT {
+                    if !crate::rules::ident_occurrences(text, needle).is_empty() {
+                        out.push(Violation {
+                            rule: "determinism",
+                            pattern: pat.to_string(),
+                            path: f.path.clone(),
+                            line,
+                            message: format!(
+                                "`{pat}` in `{}`, reachable from a differential-tested path \
+                                 ({chain}) — ambient nondeterminism anywhere the serving \
+                                 path can call breaks token-exact replay",
+                                f.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let stats = InterprocStats {
+        fns_indexed: table.fns.len(),
+        call_edges: graph.edge_count,
+        hot_reachable: hot.reached.iter().filter(|&&r| r).count(),
+        determinism_tainted: det.reached.iter().filter(|&&r| r).count(),
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_hot(module: &str) -> Config {
+        Config {
+            hot_modules: vec![module.to_string()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn allocation_two_crates_away_is_caught() {
+        let files = vec![
+            FileInput::new(
+                "crates/a/src/hotmod.rs",
+                "pub fn step(x: &mut [f32]) {\n    middle(x);\n}\n",
+            ),
+            FileInput::new(
+                "crates/b/src/lib.rs",
+                "pub fn middle(x: &mut [f32]) {\n    far_helper(x);\n}\n",
+            ),
+            FileInput::new(
+                "crates/c/src/lib.rs",
+                "pub fn far_helper(x: &mut [f32]) {\n    let v = x.to_vec();\n    x.copy_from_slice(&v);\n}\n",
+            ),
+        ];
+        let (v, stats) = check(&files, &cfg_hot("crates/a/src/hotmod.rs"));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "hot-path-alloc");
+        assert_eq!(v[0].pattern, "to_vec");
+        assert_eq!(v[0].path, "crates/c/src/lib.rs");
+        assert!(v[0].message.contains("step -> middle -> far_helper"));
+        assert_eq!(stats.hot_reachable, 3);
+    }
+
+    #[test]
+    fn cold_callee_is_not_flagged() {
+        let files = vec![
+            FileInput::new(
+                "crates/a/src/hotmod.rs",
+                "pub fn step() {\n    setup();\n}\n",
+            ),
+            FileInput::new(
+                "crates/b/src/lib.rs",
+                "// analyze: cold\npub fn setup() -> Vec<f32> {\n    vec![0.0]\n}\n",
+            ),
+        ];
+        let (v, _) = check(&files, &cfg_hot("crates/a/src/hotmod.rs"));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn determinism_taint_reaches_helpers() {
+        let files = vec![
+            FileInput::new(
+                "crates/llm/src/batch.rs",
+                "pub fn round() {\n    plan_round();\n}\n",
+            ),
+            FileInput::new(
+                "crates/sim/src/sched.rs",
+                "use std::collections::HashMap;\npub fn plan_round() {\n    let m: HashMap<u32, u32> = HashMap::new();\n    let _ = m;\n}\n",
+            ),
+        ];
+        let cfg = Config {
+            determinism_paths: vec!["crates/llm/src/batch.rs".to_string()],
+            ..Config::default()
+        };
+        let (v, stats) = check(&files, &cfg);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "determinism");
+        assert_eq!(v[0].pattern, "HashMap");
+        assert_eq!(v[0].path, "crates/sim/src/sched.rs");
+        assert_eq!(stats.determinism_tainted, 2);
+    }
+
+    #[test]
+    fn fns_in_configured_paths_are_not_double_reported() {
+        let files = vec![FileInput::new(
+            "crates/a/src/hotmod.rs",
+            "pub fn step() {\n    helper();\n}\nfn helper() {\n    let v = vec![1];\n    let _ = v;\n}\n",
+        )];
+        let (v, _) = check(&files, &cfg_hot("crates/a/src/hotmod.rs"));
+        // helper is in the hot module itself: the per-file rule owns it.
+        assert!(v.is_empty());
+    }
+}

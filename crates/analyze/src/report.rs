@@ -5,6 +5,7 @@
 //! are byte-identical — future PRs diff violation counts the way
 //! `BENCH_inference.json` tracks perf.
 
+use crate::interproc::InterprocStats;
 use crate::rules::Violation;
 use std::fmt::Write as _;
 
@@ -31,6 +32,8 @@ pub struct Analysis {
     pub files_scanned: usize,
     /// Crates scanned (for cfg-parity).
     pub crates_scanned: usize,
+    /// Call-graph / propagation statistics from the interprocedural pass.
+    pub interproc: InterprocStats,
 }
 
 impl Analysis {
@@ -49,6 +52,20 @@ impl Analysis {
         let _ = writeln!(s, "  \"total_violations\": {},", self.violations.len());
         let _ = writeln!(s, "  \"total_allowed\": {},", self.suppressed.len());
         let _ = writeln!(s, "  \"stale_allows\": {},", self.stale_allows.len());
+        s.push_str("  \"interprocedural\": {\n");
+        let _ = writeln!(s, "    \"fns_indexed\": {},", self.interproc.fns_indexed);
+        let _ = writeln!(s, "    \"call_edges\": {},", self.interproc.call_edges);
+        let _ = writeln!(
+            s,
+            "    \"hot_reachable_fns\": {},",
+            self.interproc.hot_reachable
+        );
+        let _ = writeln!(
+            s,
+            "    \"determinism_tainted_fns\": {}",
+            self.interproc.determinism_tainted
+        );
+        s.push_str("  },\n");
         s.push_str("  \"rules\": {\n");
         let rules = [
             "hot-path-alloc",
@@ -56,6 +73,9 @@ impl Analysis {
             "determinism",
             "panic-policy",
             "cfg-parity",
+            "arith-overflow",
+            "lossy-cast",
+            "concurrency-capture",
         ];
         for (i, rule) in rules.iter().enumerate() {
             let violations = self.violations.iter().filter(|v| v.rule == *rule).count();
@@ -149,6 +169,7 @@ mod tests {
             stale_allows: vec![],
             files_scanned: 1,
             crates_scanned: 1,
+            interproc: InterprocStats::default(),
         };
         let j1 = a.to_json();
         let j2 = a.to_json();

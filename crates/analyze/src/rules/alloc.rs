@@ -15,7 +15,7 @@ use crate::lexer::Annotation;
 /// string literals and comments can never trip them. `vec!`/`format!`
 /// cover the macro forms; the method patterns include the `(` so that
 /// e.g. a field named `clone` does not match.
-const PATTERNS: &[(&str, &str)] = &[
+pub(crate) const PATTERNS: &[(&str, &str)] = &[
     ("Vec::new(", "Vec::new"),
     ("Vec::with_capacity(", "with_capacity"),
     ("with_capacity(", "with_capacity"),

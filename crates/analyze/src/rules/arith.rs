@@ -1,0 +1,177 @@
+//! Rule `arith-overflow`: virtual-time and accounting integers in the
+//! serving stack use explicit-overflow arithmetic.
+//!
+//! The event loop advances virtual time in `u64` microseconds and tracks
+//! token/byte ledgers as `u64` counters. Release builds wrap silently on
+//! overflow, which turns a hostile deadline (`u64::MAX` µs) or a long-run
+//! counter into a *reordered* schedule rather than a crash — the worst
+//! failure mode for a differentially-tested path, because replay still
+//! "works" and just disagrees. In the configured paths, any bare
+//! `+`/`-`/`*` (or compound assignment) on a line that touches a tracked
+//! accounting identifier must instead use `checked_*` / `saturating_*` /
+//! `wrapping_*` (the latter when wrap is the documented semantics).
+//!
+//! Scoping is by *tracked identifier substring* (`micros`, `tokens`, …)
+//! so float math (`now_s`, ratios) and loop indices stay out of scope;
+//! CI backs this lint dynamically by running tier-1 tests with
+//! `-C overflow-checks=on`.
+
+use super::{in_path_set, FileInput, Violation};
+use crate::config::Config;
+
+/// Bare arithmetic operator forms flagged on tracked lines. rustfmt
+/// normalizes binary operators to ` op ` spacing, which is what keeps
+/// unary minus, generics (`Vec<f32>`), and deref (`*x`) out of scope.
+const OPS: &[(&str, &str)] = &[
+    ("+=", "+="),
+    ("-=", "-="),
+    ("*=", "*="),
+    (" + ", "+"),
+    (" - ", "-"),
+    (" * ", "*"),
+];
+
+/// Explicit-overflow forms that make a line exempt.
+const EXPLICIT: &[&str] = &["checked_", "saturating_", "wrapping_", "overflowing_"];
+
+/// Check one file.
+pub fn check(file: &FileInput, cfg: &Config) -> Vec<Violation> {
+    if !in_path_set(&file.rel_path, &cfg.arith_paths) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, text) in file.model.code.iter().enumerate() {
+        let line = idx + 1;
+        if file.model.in_test(line) {
+            continue;
+        }
+        let Some(tracked) = cfg.arith_tracked.iter().find(|t| mentions_tracked(text, t)) else {
+            continue;
+        };
+        if EXPLICIT.iter().any(|e| text.contains(e)) {
+            continue;
+        }
+        for &(needle, op) in OPS {
+            if text.contains(needle) {
+                out.push(Violation {
+                    rule: "arith-overflow",
+                    pattern: op.to_string(),
+                    path: file.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "bare `{op}` on a `{tracked}` accounting value — release builds \
+                         wrap silently and desynchronize the virtual-time ledger; use \
+                         `checked_*`/`saturating_*` (or `wrapping_*` when wrap is the \
+                         documented semantics)"
+                    ),
+                });
+                break; // one finding per line is enough to act on
+            }
+        }
+    }
+    out
+}
+
+/// Does the line contain an identifier with `tracked` as a `_`-delimited
+/// component (`arrival_s_micros` mentions `micros`; `round_s` does not
+/// mention `rounds`)?
+fn mentions_tracked(text: &str, tracked: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut start = 0usize;
+    while let Some(pos) = text[start..].find(tracked) {
+        let at = start + pos;
+        let end = at + tracked.len();
+        let before_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric();
+        let after_ok = end >= bytes.len() || !bytes[end].is_ascii_alphanumeric();
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + tracked.len().max(1);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            arith_paths: vec!["crates/llm/src/serve.rs".to_string()],
+            arith_tracked: vec!["micros".to_string(), "tokens".to_string()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn bare_add_on_tracked_ident_flagged() {
+        let src = "\
+fn deadline(at_micros: u64, horizon_micros: u64) -> u64 {
+    at_micros + horizon_micros
+}
+";
+        let v = check(&FileInput::new("crates/llm/src/serve.rs", src), &cfg());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].pattern, "+");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn saturating_and_checked_forms_pass() {
+        let src = "\
+fn f(a_micros: u64, n_tokens: u64) -> u64 {
+    let t = a_micros.saturating_add(n_tokens);
+    t.checked_mul(2).unwrap_or(u64::MAX)
+}
+";
+        assert!(check(&FileInput::new("crates/llm/src/serve.rs", src), &cfg()).is_empty());
+    }
+
+    #[test]
+    fn compound_assign_on_counter_flagged() {
+        let src = "fn f(decoded_tokens: &mut u64) {\n    *decoded_tokens += 1;\n}\n";
+        let v = check(&FileInput::new("crates/llm/src/serve.rs", src), &cfg());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].pattern, "+=");
+    }
+
+    #[test]
+    fn untracked_idents_and_other_files_pass() {
+        let float = "fn f(now_s: f64, round_s: f64) -> f64 {\n    now_s + round_s\n}\n";
+        assert!(check(&FileInput::new("crates/llm/src/serve.rs", float), &cfg()).is_empty());
+        let tracked = "fn f(a_micros: u64) -> u64 {\n    a_micros + 1\n}\n";
+        assert!(check(&FileInput::new("crates/llm/src/batch.rs", tracked), &cfg()).is_empty());
+    }
+
+    #[test]
+    fn tracked_must_be_a_component_not_a_substring() {
+        // `round_s` must not trip a tracked term `rounds`.
+        let cfg = Config {
+            arith_paths: vec!["crates/llm/src/serve.rs".to_string()],
+            arith_tracked: vec!["rounds".to_string()],
+            ..Config::default()
+        };
+        let src = "fn f(round_s: f64) -> f64 {\n    round_s * 2.0\n}\n";
+        assert!(check(&FileInput::new("crates/llm/src/serve.rs", src), &cfg).is_empty());
+        let hit = "fn f(rounds: u64) -> u64 {\n    rounds * 2\n}\n";
+        assert_eq!(
+            check(&FileInput::new("crates/llm/src/serve.rs", hit), &cfg).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn test_regions_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let micros = 1u64 + 2;
+        assert_eq!(micros, 3);
+    }
+}
+";
+        assert!(check(&FileInput::new("crates/llm/src/serve.rs", src), &cfg()).is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Rule `lossy-cast`: `as` casts in accounting/SLO paths are audited.
+//!
+//! `as` never fails — it truncates (`u64 as u32`), rounds (`u64 as f64`
+//! above 2^53), or saturates (`f64 as usize`) silently. In the serving
+//! stack those are exactly the conversions between virtual-time
+//! microseconds, ledger counters, and reported seconds, where a silent
+//! truncation skews SLO percentiles without failing any test. In the
+//! configured paths every numeric `as` cast must either be replaced by
+//! `try_into`/`try_from` (fallible, typed) or carry a `// cast: …` audit
+//! comment on the same line or the line above stating why the domain
+//! makes it exact — the same contract shape as `// SAFETY:` on unsafe
+//! blocks.
+
+use super::{ident_occurrences, in_path_set, FileInput, Violation};
+use crate::config::Config;
+
+/// Numeric target types whose `as` casts are audited.
+const NUMERIC_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Check one file.
+pub fn check(file: &FileInput, cfg: &Config) -> Vec<Violation> {
+    if !in_path_set(&file.rel_path, &cfg.cast_paths) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, text) in file.model.code.iter().enumerate() {
+        let line = idx + 1;
+        if file.model.in_test(line) {
+            continue;
+        }
+        if cast_audited(file, line) {
+            continue;
+        }
+        for col in ident_occurrences(text, "as") {
+            // Require expression context: ` as `-style spacing with a
+            // numeric type right after (turbofish and `use … as …` have a
+            // path/ident shape the target check rejects anyway, but the
+            // audit focuses on numeric conversions only).
+            let rest = text[col + 2..].trim_start();
+            let Some(target) = NUMERIC_TARGETS
+                .iter()
+                .find(|t| rest.starts_with(**t) && !starts_longer_ident(rest, t.len()))
+            else {
+                continue;
+            };
+            out.push(Violation {
+                rule: "lossy-cast",
+                pattern: (*target).to_string(),
+                path: file.rel_path.clone(),
+                line,
+                message: format!(
+                    "unaudited `as {target}` in an accounting/SLO path — `as` truncates \
+                     or rounds silently; use `try_into`/`try_from`, or document the \
+                     exactness domain with a `// cast: …` comment"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Does line `line` (or the line above) carry a `// cast: …` audit?
+fn cast_audited(file: &FileInput, line: usize) -> bool {
+    [line, line.saturating_sub(1)]
+        .iter()
+        .filter(|&&l| l > 0)
+        .any(|&l| {
+            file.model
+                .comment_on(l)
+                .is_some_and(|c| c.text.contains("cast:"))
+        })
+}
+
+/// Would taking `len` bytes split an identifier (`usize` inside
+/// `usize_thing`)?
+fn starts_longer_ident(rest: &str, len: usize) -> bool {
+    rest.as_bytes()
+        .get(len)
+        .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            cast_paths: vec!["crates/llm/src/serve.rs".to_string()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn unaudited_numeric_cast_flagged() {
+        let src = "fn f(micros: u64) -> f64 {\n    micros as f64 / 1e6\n}\n";
+        let v = check(&FileInput::new("crates/llm/src/serve.rs", src), &cfg());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].pattern, "f64");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn audit_comment_same_line_or_above_exempts() {
+        let same = "fn f(n: usize) -> u64 {\n    n as u64 // cast: usize <= 64 bits here\n}\n";
+        assert!(check(&FileInput::new("crates/llm/src/serve.rs", same), &cfg()).is_empty());
+        let above = "\
+fn f(n: usize) -> u64 {
+    // cast: usize is 64-bit on every supported target, value-preserving
+    n as u64
+}
+";
+        assert!(check(&FileInput::new("crates/llm/src/serve.rs", above), &cfg()).is_empty());
+    }
+
+    #[test]
+    fn try_into_passes() {
+        let src = "\
+fn f(n: usize) -> Result<u32, std::num::TryFromIntError> {\n    n.try_into()\n}\n";
+        assert!(check(&FileInput::new("crates/llm/src/serve.rs", src), &cfg()).is_empty());
+    }
+
+    #[test]
+    fn non_numeric_as_and_other_files_pass() {
+        let alias = "use std::io::Error as IoError;\nfn f(x: &dyn std::any::Any) -> bool {\n    x.is::<IoError>()\n}\n";
+        assert!(check(&FileInput::new("crates/llm/src/serve.rs", alias), &cfg()).is_empty());
+        let elsewhere = "fn f(n: usize) -> u64 {\n    n as u64\n}\n";
+        assert!(check(
+            &FileInput::new("crates/llm/src/batch.rs", elsewhere),
+            &cfg()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn cast_to_prefix_named_type_not_confused() {
+        // `as u32_like` is a (hypothetical) type name, not a numeric cast.
+        let src = "fn f(n: N) -> u32_like {\n    n as u32_like\n}\n";
+        assert!(check(&FileInput::new("crates/llm/src/serve.rs", src), &cfg()).is_empty());
+    }
+
+    #[test]
+    fn test_regions_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert_eq!(3usize as u64, 3);
+    }
+}
+";
+        assert!(check(&FileInput::new("crates/llm/src/serve.rs", src), &cfg()).is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! Rule `concurrency-capture`: closures handed to fan-outs only mutably
+//! capture disjoint partitions.
+//!
+//! The parallel/serial differential harness proves the rayon round and
+//! the scoped-thread kernel split are bit-exact — but only because every
+//! worker writes a *disjoint* region (`split_at_mut` partials in
+//! `kernels.rs`, moved-in slot references in `batch.rs`). A shared
+//! `&mut` smuggled into a fan-out closure (or a `static mut`) compiles
+//! in enough unsafe-adjacent shapes to be worth a lexical tripwire, and
+//! in safe code it usually signals a partitioning mistake about to be
+//! "fixed" with interior mutability.
+//!
+//! Inside every fan-out span (`std::thread::scope`, `thread::spawn`,
+//! rayon scope/`par_iter*` adapters), a `&mut` borrow is flagged unless
+//! the line visibly partitions (`chunks_mut`/`split_at_mut`-family or
+//! iterator `iter_mut`), reborrows an already-partitioned slice
+//! (`&mut *`), or is a closure *parameter* (the items a `par_iter_mut`
+//! yields are disjoint by construction). `static mut` is flagged
+//! unconditionally. The rule is workspace-wide: fan-outs are rare enough
+//! that every one deserves the audit.
+
+use super::{FileInput, Violation};
+use std::collections::BTreeSet;
+
+/// Fan-out openers. Each substring ends with `(` so paren-matching the
+/// span starts at the opener itself.
+const OPENERS: &[&str] = &[
+    "thread::scope(",
+    "thread::spawn(",
+    "rayon::scope(",
+    ".spawn(",
+    ".into_par_iter(",
+    ".par_iter(",
+    ".par_iter_mut(",
+    ".par_chunks(",
+    ".par_chunks_mut(",
+    ".par_bridge(",
+    "drive_chunks(",
+];
+
+/// Partitioning forms that sanction a `&mut` on the same line.
+const SANCTIONED: &[&str] = &[
+    "chunks_mut(",
+    "chunks_exact_mut(",
+    "split_at_mut(",
+    "split_first_mut(",
+    "split_last_mut(",
+    "iter_mut(",
+    "each_mut(",
+    "as_mut_slice(",
+];
+
+/// Check one file.
+pub fn check(file: &FileInput) -> Vec<Violation> {
+    let code = &file.model.code;
+    // Union of all fan-out span lines (spans nest: a `.spawn(` inside a
+    // `thread::scope(` must not double-report).
+    let mut span_lines: BTreeSet<usize> = BTreeSet::new();
+    for (idx, text) in code.iter().enumerate() {
+        let line = idx + 1;
+        if file.model.in_test(line) {
+            continue;
+        }
+        for opener in OPENERS {
+            let Some(col) = text.find(opener) else {
+                continue;
+            };
+            let open_col = col + opener.len() - 1;
+            // The span runs to the end of the *statement*: a par-iter
+            // adapter's own parens close immediately and the closure lives
+            // in the chained `.for_each(…)`, so paren-matching just the
+            // opener would miss it.
+            let end = statement_end(code, idx, open_col).unwrap_or(code.len() - 1);
+            span_lines.extend(idx..=end);
+        }
+    }
+    let mut out = Vec::new();
+    for &idx in &span_lines {
+        let line = idx + 1;
+        let Some(text) = code.get(idx) else {
+            continue;
+        };
+        if file.model.in_test(line) {
+            continue;
+        }
+        if text.contains("static mut") {
+            out.push(Violation {
+                rule: "concurrency-capture",
+                pattern: "static-mut".to_string(),
+                path: file.rel_path.clone(),
+                line,
+                message: "`static mut` inside a fan-out span — shared mutable statics \
+                          race across workers; partition state or pass it through the \
+                          scope explicitly"
+                    .to_string(),
+            });
+        }
+        if let Some(col) = unsanctioned_mut_borrow(text) {
+            let _ = col;
+            out.push(Violation {
+                rule: "concurrency-capture",
+                pattern: "shared-mut-capture".to_string(),
+                path: file.rel_path.clone(),
+                line,
+                message: "`&mut` inside a fan-out span without a visible disjoint \
+                          partition — workers may only mutably capture \
+                          `chunks_mut`/`split_at_mut`-style partitions (reborrow with \
+                          `&mut *` once partitioned)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Column of the first `&mut ` on this line that no exemption covers.
+fn unsanctioned_mut_borrow(text: &str) -> Option<usize> {
+    if SANCTIONED.iter().any(|s| text.contains(s)) {
+        return None;
+    }
+    let bytes = text.as_bytes();
+    let mut start = 0usize;
+    while let Some(pos) = text[start..].find("&mut ") {
+        let col = start + pos;
+        start = col + 5;
+        // Reborrow of an already-partitioned slice.
+        if text[col..].starts_with("&mut *") {
+            continue;
+        }
+        // Closure parameter position (`|slot: &mut SeqSlot|`): the items a
+        // parallel iterator yields are disjoint by construction. Odd pipe
+        // count before the borrow ⇒ inside a `|…|` parameter list.
+        let pipes_before = bytes[..col].iter().filter(|&&b| b == b'|').count();
+        if pipes_before % 2 == 1 {
+            continue;
+        }
+        return Some(col);
+    }
+    None
+}
+
+/// Line index (0-based) where the statement containing the `(` at
+/// (`line`, `col`) ends: the first `;` (or block-closing `}`) at paren
+/// depth zero after the opener — which follows the whole method chain,
+/// not just the opener's own argument list.
+fn statement_end(code: &[String], line: usize, col: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (l, text) in code.iter().enumerate().skip(line) {
+        let skip = if l == line { col } else { 0 };
+        for c in text.chars().skip(skip) {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return Some(l); // enclosing call closed: chain over
+                    }
+                }
+                ';' | '}' if depth == 0 => return Some(l),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_mut_capture_flagged() {
+        let src = "\
+fn f(acc: &mut Vec<f32>) {
+    std::thread::scope(|sc| {
+        sc.spawn(|| {
+            push_result(&mut acc[0]);
+        });
+    });
+}
+fn push_result(_x: &mut f32) {}
+";
+        let v = check(&FileInput::new("crates/x/src/lib.rs", src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].pattern, "shared-mut-capture");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn split_at_mut_partitioning_passes() {
+        let src = "\
+fn f(parts: &mut [f32], w: usize) {
+    std::thread::scope(|sc| {
+        let mut rest = &mut *parts;
+        for _ in 0..4 {
+            let (part, tail) = rest.split_at_mut(w);
+            rest = tail;
+            sc.spawn(move || work(part));
+        }
+    });
+}
+fn work(_p: &mut [f32]) {}
+";
+        assert!(check(&FileInput::new("crates/x/src/lib.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn chunks_mut_fanout_passes() {
+        let src = "\
+fn f(data: &mut [f32]) {
+    data.par_chunks_mut(64).for_each(|chunk| {
+        chunk.fill(0.0);
+    });
+}
+";
+        assert!(check(&FileInput::new("crates/x/src/lib.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn closure_parameter_mut_is_disjoint_by_construction() {
+        let src = "\
+fn f(work: Vec<(&mut Slot, Action)>) {
+    work.into_par_iter()
+        .for_each(|(slot, action): (&mut Slot, Action)| advance(slot, action));
+}
+";
+        assert!(check(&FileInput::new("crates/x/src/lib.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn static_mut_flagged() {
+        let src = "\
+static mut COUNTER: u64 = 0;
+fn f() {
+    std::thread::scope(|sc| {
+        sc.spawn(|| unsafe {
+            static mut LOCAL: u64 = 0;
+            LOCAL += 1;
+        });
+    });
+}
+";
+        let v = check(&FileInput::new("crates/x/src/lib.rs", src));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].pattern, "static-mut");
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn mut_borrows_outside_fanouts_pass() {
+        let src = "fn f(x: &mut [f32]) {\n    helper(&mut x[0]);\n}\nfn helper(_x: &mut f32) {}\n";
+        assert!(check(&FileInput::new("crates/x/src/lib.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn test_regions_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let mut v = vec![0.0f32; 8];
+        std::thread::scope(|sc| {
+            sc.spawn(|| touch(&mut v));
+        });
+    }
+    fn touch(_v: &mut Vec<f32>) {}
+}
+";
+        assert!(check(&FileInput::new("crates/x/src/lib.rs", src)).is_empty());
+    }
+}

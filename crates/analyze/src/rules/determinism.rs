@@ -20,7 +20,7 @@ use super::{ident_occurrences, in_path_set, FileInput, Violation};
 use crate::config::Config;
 
 /// Ambient nondeterminism patterns checked inside the configured paths.
-const AMBIENT: &[(&str, &str)] = &[
+pub(crate) const AMBIENT: &[(&str, &str)] = &[
     ("HashMap", "HashMap"),
     ("HashSet", "HashSet"),
     ("Instant::now", "Instant::now"),

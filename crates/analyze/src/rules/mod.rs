@@ -1,12 +1,17 @@
-//! The rule engine: five invariant rules over lexed source models.
+//! The rule engine: eight invariant rules over lexed source models.
 //!
-//! Each rule is a pure function from a [`FileInput`] (plus config scoping)
-//! to a list of [`Violation`]s, so every rule is independently testable on
-//! fixture snippets without touching the filesystem. DESIGN.md §"Static
-//! invariants" maps each rule to the runtime property it protects.
+//! Each per-file rule is a pure function from a [`FileInput`] (plus
+//! config scoping) to a list of [`Violation`]s, so every rule is
+//! independently testable on fixture snippets without touching the
+//! filesystem (the interprocedural pass in [`crate::interproc`] runs
+//! separately, over all files at once). DESIGN.md §"Static invariants"
+//! maps each rule to the runtime property it protects.
 
 pub mod alloc;
+pub mod arith;
+pub mod casts;
 pub mod cfg_parity;
+pub mod concurrency;
 pub mod determinism;
 pub mod panics;
 pub mod unsafety;
@@ -69,6 +74,9 @@ pub fn run_file_rules(file: &FileInput, cfg: &Config) -> Vec<Violation> {
     out.extend(unsafety::check(file));
     out.extend(determinism::check(file, cfg));
     out.extend(panics::check(file, cfg));
+    out.extend(arith::check(file, cfg));
+    out.extend(casts::check(file, cfg));
+    out.extend(concurrency::check(file));
     out
 }
 

@@ -1,0 +1,461 @@
+//! Pass 1 of the interprocedural analysis: the workspace symbol table.
+//!
+//! Built from the same sanitized token stream the per-file rules read
+//! (see [`crate::lexer`]), so string literals and comments can never
+//! fabricate a function or a call. The table records every `fn`
+//! definition with its crate/module location and every call site inside
+//! a function body, classified as a plain/path call or a method call.
+//! `use`-aliases are resolved at extraction time, so downstream
+//! resolution ([`crate::callgraph`]) sees canonical path segments.
+//!
+//! This is still a lexer-level view: no type information, no trait
+//! resolution. The call graph built on top is therefore *conservative* —
+//! a method call `.foo(…)` may dispatch to any workspace fn named `foo`
+//! — which over-approximates reachability, never under-approximates it.
+//! For a gate, that is the correct direction to be wrong in.
+
+use crate::lexer::{Annotation, SourceModel};
+use crate::rules::FileInput;
+use std::collections::BTreeMap;
+
+/// One function definition in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnSymbol {
+    /// Function name (identifier after `fn`).
+    pub name: String,
+    /// Repo-relative file path, `/`-separated.
+    pub path: String,
+    /// Crate directory name under `crates/` (empty for fixture layouts
+    /// without that shape).
+    pub crate_name: String,
+    /// File stem (`kernels` for `crates/llm/src/kernels.rs`) — the module
+    /// name a path-qualified call is matched against.
+    pub module: String,
+    /// 1-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// 1-based body span (inclusive).
+    pub body_start: usize,
+    /// 1-based body span (inclusive).
+    pub body_end: usize,
+    /// `// analyze: hot` / `// analyze: cold` annotation, if any.
+    pub annotation: Option<Annotation>,
+    /// Declared inside a `#[cfg(test)]` item or `#[test]` fn.
+    pub is_test: bool,
+}
+
+/// What a call site names, after `use`-alias substitution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// `foo(…)` or `a::b::foo(…)` — canonical path segments as resolved
+    /// through the file's `use` aliases.
+    Plain(Vec<String>),
+    /// `.foo(…)` — receiver type unknown at the lexical level, so this
+    /// resolves conservatively to every workspace fn named `foo`.
+    Method(String),
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Index into [`SymbolTable::fns`] of the enclosing function.
+    pub caller: usize,
+    /// 1-based source line of the call.
+    pub line: usize,
+    /// Callee, as named at the site.
+    pub target: CallTarget,
+}
+
+/// The workspace-wide symbol table: every fn, every call site, plus a
+/// deterministic name index (BTreeMap, so iteration order — and therefore
+/// report order — never depends on hash state).
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// All function definitions, in (file, declaration) order.
+    pub fns: Vec<FnSymbol>,
+    /// All call sites, in (file, line) order.
+    pub calls: Vec<CallSite>,
+    /// fn name → indices into `fns`.
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Build the table from every lexed workspace file.
+    pub fn build(files: &[FileInput]) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for file in files {
+            table.add_file(file);
+        }
+        table
+    }
+
+    /// Indices of every workspace fn named `name`.
+    pub fn fns_named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    fn add_file(&mut self, file: &FileInput) {
+        let crate_name = crate_of(&file.rel_path);
+        let module = module_of(&file.rel_path);
+        let aliases = use_aliases(&file.model);
+        let first_id = self.fns.len();
+        for f in &file.model.fns {
+            let id = self.fns.len();
+            self.fns.push(FnSymbol {
+                name: f.name.clone(),
+                path: file.rel_path.clone(),
+                crate_name: crate_name.clone(),
+                module: module.clone(),
+                decl_line: f.decl_line,
+                body_start: f.body_start,
+                body_end: f.body_end,
+                annotation: f.annotation,
+                is_test: file.model.in_test(f.decl_line),
+            });
+            self.by_name.entry(f.name.clone()).or_default().push(id);
+        }
+        // Attribute each body line's calls to the *innermost* enclosing fn
+        // so a nested helper's calls propagate from the helper, not its
+        // parent (the parent reaches the helper through a call edge).
+        let file_fns = &self.fns[first_id..];
+        for (idx, text) in file.model.code.iter().enumerate() {
+            let line = idx + 1;
+            let Some(local) = innermost_fn_at(file_fns, line) else {
+                continue;
+            };
+            let caller = first_id + local;
+            for target in calls_on_line(text, &aliases) {
+                self.calls.push(CallSite {
+                    caller,
+                    line,
+                    target,
+                });
+            }
+        }
+    }
+}
+
+/// Crate directory name from `crates/<name>/src/…`.
+fn crate_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        _ => String::new(),
+    }
+}
+
+/// File stem: `kernels` for `…/kernels.rs`; `lib` for `…/lib.rs`.
+fn module_of(rel_path: &str) -> String {
+    rel_path
+        .rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("")
+        .to_string()
+}
+
+/// Innermost fn (index into `fns`) whose body contains `line`.
+fn innermost_fn_at(fns: &[FnSymbol], line: usize) -> Option<usize> {
+    fns.iter()
+        .enumerate()
+        .filter(|(_, f)| (f.body_start..=f.body_end).contains(&line))
+        .min_by_key(|(_, f)| f.body_end - f.body_start)
+        .map(|(i, _)| i)
+}
+
+/// `use` aliases in this file: imported-or-renamed name → full target
+/// path segments. `use a::b::c;` maps `c → [a,b,c]`; `use a::b as z;`
+/// maps `z → [a,b]`; `use a::{b as c, d};` maps both. Globs are skipped.
+fn use_aliases(model: &SourceModel) -> BTreeMap<String, Vec<String>> {
+    let mut aliases = BTreeMap::new();
+    let mut pending = String::new();
+    for text in &model.code {
+        let t = text.trim();
+        if pending.is_empty() {
+            let Some(rest) = t.strip_prefix("use ") else {
+                continue;
+            };
+            pending = rest.to_string();
+        } else {
+            pending.push(' ');
+            pending.push_str(t);
+        }
+        if !pending.contains(';') {
+            continue; // multi-line use — keep accumulating
+        }
+        let stmt = pending.trim_end_matches(';').trim().to_string();
+        pending.clear();
+        record_use(&stmt, &mut Vec::new(), &mut aliases);
+    }
+    aliases
+}
+
+/// Record one use-tree (`a::b::{c as d, e}`) into `aliases`, prefix being
+/// the segments accumulated so far.
+fn record_use(tree: &str, prefix: &mut Vec<String>, aliases: &mut BTreeMap<String, Vec<String>>) {
+    let tree = tree.trim();
+    if let Some((head, brace)) = tree.split_once('{') {
+        let head = head.trim().trim_end_matches("::");
+        let depth_before = prefix.len();
+        for seg in head.split("::").filter(|s| !s.trim().is_empty()) {
+            prefix.push(seg.trim().to_string());
+        }
+        let body = brace.trim_end().trim_end_matches('}');
+        for item in split_use_items(body) {
+            record_use(item, prefix, aliases);
+        }
+        prefix.truncate(depth_before);
+        return;
+    }
+    let (path_part, alias) = match tree.split_once(" as ") {
+        Some((p, a)) => (p.trim(), Some(a.trim())),
+        None => (tree, None),
+    };
+    let mut segs = prefix.clone();
+    for seg in path_part.split("::").filter(|s| !s.trim().is_empty()) {
+        segs.push(seg.trim().to_string());
+    }
+    let Some(last) = segs.last().cloned() else {
+        return;
+    };
+    if last == "*" {
+        return; // glob: nothing to name
+    }
+    let name = alias.map_or(last, |a| a.to_string());
+    if !name.is_empty() {
+        aliases.insert(name, segs);
+    }
+}
+
+/// Split a `{…}` use-body on top-level commas (one nesting level deep).
+fn split_use_items(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+/// Keywords and binding forms that look like `ident(` but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn", "let",
+    "in", "as", "move", "ref", "mut", "impl", "where", "unsafe", "dyn", "box", "await", "crate",
+    "super", "pub", "use", "mod", "struct", "enum", "trait", "type", "const", "static", "yield",
+];
+
+/// Extract call targets on one sanitized line, resolving `use` aliases.
+///
+/// A call is an identifier immediately followed by `(`; `name!(` macros
+/// and keyword forms are skipped. `.name(` classifies as a method call;
+/// a `::`-qualified name collects its leading segments.
+fn calls_on_line(text: &str, aliases: &BTreeMap<String, Vec<String>>) -> Vec<CallTarget> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if !is_ident_start(bytes[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        // `start` must begin the identifier (previous byte non-ident).
+        if start > 0 && is_ident_byte(bytes[start - 1]) {
+            continue;
+        }
+        if bytes.get(i) != Some(&b'(') {
+            continue; // not a call (macros `name!(` also land here)
+        }
+        let Some(name) = text.get(start..i) else {
+            continue;
+        };
+        if NON_CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        // `.name(` → method call.
+        if start > 0 && bytes[start - 1] == b'.' {
+            out.push(CallTarget::Method(name.to_string()));
+            continue;
+        }
+        // Walk back over `seg::seg::` qualifiers.
+        let mut segs: Vec<String> = Vec::new();
+        let mut back = start;
+        while back >= 2 && &bytes[back - 2..back] == b"::" {
+            let seg_end = back - 2;
+            let mut seg_start = seg_end;
+            while seg_start > 0 && is_ident_byte(bytes[seg_start - 1]) {
+                seg_start -= 1;
+            }
+            if seg_start == seg_end {
+                break;
+            }
+            let Some(seg) = text.get(seg_start..seg_end) else {
+                break;
+            };
+            segs.insert(0, seg.to_string());
+            back = seg_start;
+        }
+        // The token before a bare name must not be the `fn` keyword (that
+        // is the declaration itself, not a call).
+        if segs.is_empty() {
+            let mut k = start;
+            while k > 0 && bytes[k - 1] == b' ' {
+                k -= 1;
+            }
+            if k >= 2 && &bytes[k - 2..k] == b"fn" && (k == 2 || !is_ident_byte(bytes[k - 3])) {
+                continue;
+            }
+        }
+        segs.push(name.to_string());
+        // Alias substitution: an imported/renamed first segment expands to
+        // its full use-path, so `k::matvec(…)` after `use llm::kernels as
+        // k;` resolves with the real module name.
+        if let Some(target) = aliases.get(&segs[0]) {
+            let mut resolved = target.clone();
+            resolved.extend(segs.drain(1..));
+            segs = resolved;
+        }
+        out.push(CallTarget::Plain(segs));
+    }
+    out
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_of(path: &str, src: &str) -> SymbolTable {
+        SymbolTable::build(&[FileInput::new(path, src)])
+    }
+
+    #[test]
+    fn fns_indexed_with_crate_and_module() {
+        let t = table_of(
+            "crates/llm/src/kernels.rs",
+            "pub fn matvec(x: &[f32]) -> f32 {\n    x[0]\n}\n",
+        );
+        assert_eq!(t.fns.len(), 1);
+        assert_eq!(t.fns[0].crate_name, "llm");
+        assert_eq!(t.fns[0].module, "kernels");
+        assert_eq!(t.fns_named("matvec"), &[0]);
+        assert!(t.fns_named("other").is_empty());
+    }
+
+    #[test]
+    fn calls_classified_plain_path_method() {
+        let src = "\
+fn caller(x: &[f32]) -> f32 {
+    helper(x);
+    kernels::matvec(x);
+    x.iter().sum()
+}
+";
+        let t = table_of("crates/llm/src/lib.rs", src);
+        let targets: Vec<&CallTarget> = t.calls.iter().map(|c| &c.target).collect();
+        assert!(targets.contains(&&CallTarget::Plain(vec!["helper".into()])));
+        assert!(targets.contains(&&CallTarget::Plain(vec!["kernels".into(), "matvec".into()])));
+        assert!(targets.contains(&&CallTarget::Method("iter".into())));
+        assert!(targets.contains(&&CallTarget::Method("sum".into())));
+    }
+
+    #[test]
+    fn declaration_is_not_a_call_and_macros_are_skipped() {
+        let src = "fn f(x: u32) -> u32 {\n    assert!(x > 0);\n    g(x)\n}\nfn g(x: u32) -> u32 {\n    x\n}\n";
+        let t = table_of("crates/x/src/lib.rs", src);
+        let plains: Vec<String> = t
+            .calls
+            .iter()
+            .filter_map(|c| match &c.target {
+                CallTarget::Plain(s) => Some(s.join("::")),
+                CallTarget::Method(_) => None,
+            })
+            .collect();
+        assert_eq!(plains, vec!["g".to_string()]);
+    }
+
+    #[test]
+    fn use_aliases_expand_call_paths() {
+        let src = "\
+use crate::kernels::{matvec as mv, topk};
+use crate::scratch as sc;
+
+fn f() {
+    mv();
+    topk();
+    sc::reset();
+}
+";
+        let t = table_of("crates/llm/src/lib.rs", src);
+        let plains: Vec<String> = t
+            .calls
+            .iter()
+            .filter_map(|c| match &c.target {
+                CallTarget::Plain(s) => Some(s.join("::")),
+                CallTarget::Method(_) => None,
+            })
+            .collect();
+        assert!(plains.contains(&"crate::kernels::matvec".to_string()));
+        assert!(plains.contains(&"crate::kernels::topk".to_string()));
+        assert!(plains.contains(&"crate::scratch::reset".to_string()));
+    }
+
+    #[test]
+    fn calls_attributed_to_innermost_fn() {
+        let src = "\
+fn outer() {
+    fn inner() {
+        leaf();
+    }
+    inner();
+}
+fn leaf() {}
+";
+        let t = table_of("crates/x/src/lib.rs", src);
+        let leaf_call = t
+            .calls
+            .iter()
+            .find(|c| c.target == CallTarget::Plain(vec!["leaf".into()]));
+        let inner_id = t.fns.iter().position(|f| f.name == "inner");
+        assert_eq!(leaf_call.map(|c| c.caller), inner_id);
+    }
+
+    #[test]
+    fn test_fns_marked() {
+        let src = "\
+fn lib() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        super::lib();
+    }
+}
+";
+        let t = table_of("crates/x/src/lib.rs", src);
+        let lib = t.fns.iter().find(|f| f.name == "lib");
+        let test = t.fns.iter().find(|f| f.name == "t");
+        assert_eq!(lib.map(|f| f.is_test), Some(false));
+        assert_eq!(test.map(|f| f.is_test), Some(true));
+    }
+}

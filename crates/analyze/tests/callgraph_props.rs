@@ -1,0 +1,166 @@
+//! Property tests for symbol-table and call-graph construction: random
+//! call topologies (cycles, self-loops, diamonds), shadowed and aliased
+//! names, and conservative method resolution.
+
+use hnlpu_analyze::callgraph::{CallGraph, Reachability};
+use hnlpu_analyze::rules::FileInput;
+use hnlpu_analyze::symbols::SymbolTable;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+const MAX_FNS: usize = 12;
+
+/// Synthesize a 2-crate, 3-file workspace whose fn `i` calls exactly the
+/// fns `adj[i]` by distinctive unqualified names.
+fn synth_workspace(n: usize, adj: &[Vec<usize>]) -> Vec<FileInput> {
+    let mut srcs = vec![String::new(); 3];
+    for i in 0..n {
+        let src = &mut srcs[i % 3];
+        src.push_str(&format!("pub fn gen_fn_{i}(x: f32) -> f32 {{\n"));
+        src.push_str("    let mut acc = x;\n");
+        for &j in &adj[i] {
+            src.push_str(&format!("    acc = gen_fn_{j}(acc);\n"));
+        }
+        src.push_str("    acc\n}\n\n");
+    }
+    srcs.into_iter()
+        .enumerate()
+        .map(|(k, s)| FileInput::new(&format!("crates/gen{}/src/m{k}.rs", k % 2), &s))
+        .collect()
+}
+
+/// BFS over the spec adjacency — the model the analyzer must match.
+fn model_reachable(n: usize, adj: &[Vec<usize>], root: usize) -> Vec<bool> {
+    let mut reached = vec![false; n];
+    let mut queue = VecDeque::from([root]);
+    reached[root] = true;
+    while let Some(f) = queue.pop_front() {
+        for &c in &adj[f] {
+            if !reached[c] {
+                reached[c] = true;
+                queue.push_back(c);
+            }
+        }
+    }
+    reached
+}
+
+proptest! {
+    /// On distinctive unqualified names the resolved graph reproduces the
+    /// generating topology exactly — including cycles and self-loops —
+    /// and BFS terminates with the model-predicted reachable set.
+    #[test]
+    fn reachability_matches_generating_topology(
+        n in 1usize..MAX_FNS,
+        raw_edges in prop::collection::vec(0usize..(MAX_FNS * MAX_FNS), 0..40),
+    ) {
+        let mut adj = vec![Vec::new(); n];
+        for &e in &raw_edges {
+            adj[(e / MAX_FNS) % n].push(e % n);
+        }
+        let files = synth_workspace(n, &adj);
+        let table = SymbolTable::build(&files);
+        prop_assert_eq!(table.fns.len(), n);
+        let graph = CallGraph::resolve(&table);
+
+        // Spec index i → table index, via the unique name.
+        let idx = |i: usize| table.fns_named(&format!("gen_fn_{i}"))[0];
+        let reach = Reachability::compute(&table, &graph, &[idx(0)], true);
+        let model = model_reachable(n, &adj, 0);
+        for (i, want) in model.iter().enumerate() {
+            prop_assert_eq!(
+                reach.reached[idx(i)],
+                *want,
+                "fn {} reachability diverged from model",
+                i
+            );
+        }
+        // Every reached non-root fn renders a finite root-anchored chain.
+        for (i, reached) in model.iter().enumerate() {
+            if *reached {
+                let chain = reach.chain(&table, idx(i));
+                prop_assert!(chain.contains("gen_fn_0"), "chain `{}` lost its root", chain);
+            }
+        }
+    }
+
+    /// An unqualified call prefers the same-file definition over every
+    /// same-named fn elsewhere, regardless of how many files shadow it.
+    #[test]
+    fn shadowed_names_resolve_same_file_first(nfiles in 2usize..5) {
+        let files: Vec<FileInput> = (0..nfiles)
+            .map(|k| {
+                let src = format!(
+                    "fn helper(x: u32) -> u32 {{\n    x\n}}\n\n\
+                     pub fn caller_{k}(x: u32) -> u32 {{\n    helper(x)\n}}\n"
+                );
+                FileInput::new(&format!("crates/sh{k}/src/lib.rs"), &src)
+            })
+            .collect();
+        let table = SymbolTable::build(&files);
+        let graph = CallGraph::resolve(&table);
+        for k in 0..nfiles {
+            let caller = table.fns_named(&format!("caller_{k}"))[0];
+            let same_file_helper = table
+                .fns_named("helper")
+                .iter()
+                .copied()
+                .find(|&h| table.fns[h].path == table.fns[caller].path)
+                .expect("each file defines helper");
+            prop_assert_eq!(&graph.callees[caller], &vec![same_file_helper]);
+        }
+    }
+
+    /// Method-call sugar on a distinctive name resolves conservatively to
+    /// every same-named workspace fn.
+    #[test]
+    fn method_calls_resolve_to_all_candidates(nimpls in 1usize..5) {
+        let mut files: Vec<FileInput> = (0..nimpls)
+            .map(|k| {
+                FileInput::new(
+                    &format!("crates/m{k}/src/lib.rs"),
+                    "pub fn frobnicate(x: u32) -> u32 {\n    x\n}\n",
+                )
+            })
+            .collect();
+        files.push(FileInput::new(
+            "crates/call/src/lib.rs",
+            "pub fn caller(w: Widget) -> u32 {\n    w.frobnicate(1)\n}\n",
+        ));
+        let table = SymbolTable::build(&files);
+        let graph = CallGraph::resolve(&table);
+        let caller = table.fns_named("caller")[0];
+        prop_assert_eq!(graph.callees[caller].len(), nimpls);
+    }
+
+    /// A `use … as …` alias resolves through the rename to the target
+    /// module's fn, not to a same-named decoy elsewhere.
+    #[test]
+    fn aliased_imports_resolve_to_target(i in 0usize..50) {
+        let target = FileInput::new(
+            "crates/alpha/src/util.rs",
+            &format!("pub fn real_fn_{i}(x: u32) -> u32 {{\n    x\n}}\n"),
+        );
+        let decoy = FileInput::new(
+            "crates/beta/src/other.rs",
+            &format!("pub fn real_fn_{i}(x: u32) -> u32 {{\n    x + 1\n}}\n"),
+        );
+        let caller = FileInput::new(
+            "crates/gamma/src/lib.rs",
+            &format!(
+                "use alpha::util::real_fn_{i} as al{i};\n\n\
+                 pub fn caller(x: u32) -> u32 {{\n    al{i}(x)\n}}\n"
+            ),
+        );
+        let table = SymbolTable::build(&[target, decoy, caller]);
+        let graph = CallGraph::resolve(&table);
+        let caller_id = table.fns_named("caller")[0];
+        let want: Vec<usize> = table
+            .fns_named(&format!("real_fn_{i}"))
+            .iter()
+            .copied()
+            .filter(|&f| table.fns[f].module == "util")
+            .collect();
+        prop_assert_eq!(&graph.callees[caller_id], &want);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: bare arithmetic on virtual-time/accounting integers.
+
+pub struct Ledger {
+    pub decoded_tokens: u64,
+    pub queued_bytes: u64,
+}
+
+/// Deadline math on the virtual clock: wraps silently in release builds.
+pub fn deadline_micros(arrival_micros: u64, horizon_micros: u64) -> u64 {
+    arrival_micros + horizon_micros
+}
+
+/// Counter bump without overflow handling.
+pub fn account(ledger: &mut Ledger, n_tokens: u64, n_bytes: u64) {
+    ledger.decoded_tokens += n_tokens;
+    ledger.queued_bytes += n_bytes;
+}
+
+/// Scaled backoff on the virtual clock.
+pub fn backoff_micros(base_micros: u64, attempt: u64) -> u64 {
+    base_micros * attempt
+}

@@ -1,0 +1,29 @@
+//! Fixture: explicit-overflow arithmetic on accounting integers, plus
+//! out-of-scope float math.
+
+pub struct Ledger {
+    pub decoded_tokens: u64,
+    pub queued_bytes: u64,
+}
+
+/// Deadline math saturates: a hostile `u64::MAX` horizon pins to MAX
+/// instead of wrapping into the past.
+pub fn deadline_micros(arrival_micros: u64, horizon_micros: u64) -> u64 {
+    arrival_micros.saturating_add(horizon_micros)
+}
+
+/// Counter bumps use saturating adds — ledgers only report, never wrap.
+pub fn account(ledger: &mut Ledger, n_tokens: u64, n_bytes: u64) {
+    ledger.decoded_tokens = ledger.decoded_tokens.saturating_add(n_tokens);
+    ledger.queued_bytes = ledger.queued_bytes.saturating_add(n_bytes);
+}
+
+/// Checked scaling with an explicit pin on overflow.
+pub fn backoff_micros(base_micros: u64, attempt: u64) -> u64 {
+    base_micros.checked_mul(attempt).unwrap_or(u64::MAX)
+}
+
+/// Float ratio math is out of scope — no tracked integer identifiers.
+pub fn utilization(busy_s: f64, wall_s: f64) -> f64 {
+    busy_s / wall_s.max(1e-9)
+}

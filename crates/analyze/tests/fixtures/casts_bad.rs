@@ -1,0 +1,16 @@
+//! Fixture: unaudited `as` casts in an accounting/SLO path.
+
+/// Above 2^53 µs this rounds silently — percentile math drifts.
+pub fn micros_to_seconds(micros: u64) -> f64 {
+    micros as f64 / 1e6
+}
+
+/// Truncates any id above `u32::MAX` to a colliding small id.
+pub fn compact_id(id: u64) -> u32 {
+    id as u32
+}
+
+/// Saturates silently on negative or huge values.
+pub fn slot_index(raw: f64) -> usize {
+    raw as usize
+}

@@ -1,0 +1,21 @@
+//! Fixture: audited or fallible numeric conversions.
+
+/// Fallible, typed conversion: the caller decides what a too-large id
+/// means.
+pub fn compact_id(id: u64) -> Result<u32, std::num::TryFromIntError> {
+    id.try_into()
+}
+
+/// Documented-exact cast.
+pub fn micros_to_seconds(micros: u64) -> f64 {
+    // cast: virtual time is bounded by the run horizon (< 2^53 µs), value-preserving in f64
+    micros as f64 / 1e6
+}
+
+/// Same-line audit form.
+pub fn lane_count(n: usize) -> u64 {
+    n as u64 // cast: usize is at most 64 bits on every supported target
+}
+
+/// Non-numeric `as` (import rename) is out of scope.
+pub use std::io::Error as IoError;

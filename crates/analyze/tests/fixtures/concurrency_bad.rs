@@ -1,0 +1,28 @@
+//! Fixture: fan-out closures capturing shared mutable state.
+
+/// Workers race on the shared accumulator: the borrow checker rejects the
+/// worst shapes, but interior-mutability "fixes" compile — the lint fires
+/// before anyone reaches for them.
+pub fn fan_out(acc: &mut Vec<f32>, inputs: &[f32]) {
+    std::thread::scope(|sc| {
+        for (i, &x) in inputs.iter().enumerate() {
+            sc.spawn(|| {
+                write_partial(&mut acc[i], x);
+            });
+        }
+    });
+}
+
+/// A `static mut` inside a fan-out span: shared across every worker.
+pub fn count_rounds() {
+    std::thread::scope(|sc| {
+        sc.spawn(|| unsafe {
+            static mut ROUNDS_DONE: u64 = 0;
+            ROUNDS_DONE += 1;
+        });
+    });
+}
+
+fn write_partial(slot: &mut f32, x: f32) {
+    *slot = x;
+}

@@ -1,0 +1,39 @@
+//! Fixture: fan-outs that only mutably capture disjoint partitions.
+
+/// Scoped-thread split: each worker owns a `split_at_mut` partition.
+pub fn fan_out(parts: &mut [f32], width: usize) {
+    std::thread::scope(|sc| {
+        let mut rest = &mut *parts;
+        while rest.len() >= width {
+            let (part, tail) = rest.split_at_mut(width);
+            rest = tail;
+            sc.spawn(move || fill(part));
+        }
+    });
+}
+
+/// Chunked fan-out: `chunks_mut` partitions are disjoint by construction.
+pub fn zero_all(data: &mut [f32], chunk: usize) {
+    std::thread::scope(|sc| {
+        for part in data.chunks_mut(chunk) {
+            sc.spawn(move || fill(part));
+        }
+    });
+}
+
+/// Mutable borrows outside any fan-out span are out of scope.
+pub fn serial_accumulate(acc: &mut f32, xs: &[f32]) {
+    for &x in xs {
+        add(acc, x);
+    }
+}
+
+fn fill(part: &mut [f32]) {
+    for v in part.iter_mut() {
+        *v = 1.0;
+    }
+}
+
+fn add(acc: &mut f32, x: f32) {
+    *acc += x;
+}

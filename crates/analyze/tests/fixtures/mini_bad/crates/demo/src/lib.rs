@@ -12,6 +12,28 @@ pub fn first(x: &[f32]) -> f32 {
     unsafe { *x.as_ptr() }
 }
 
+pub fn deadline(at_micros: u64, horizon_micros: u64) -> u64 {
+    at_micros + horizon_micros
+}
+
+pub fn report_seconds(elapsed_micros: u64) -> f64 {
+    elapsed_micros as f64 / 1e6
+}
+
+pub fn race(acc: &mut Vec<f32>, xs: &[f32]) {
+    std::thread::scope(|sc| {
+        for (i, &x) in xs.iter().enumerate() {
+            sc.spawn(|| {
+                set(&mut acc[i], x);
+            });
+        }
+    });
+}
+
+fn set(slot: &mut f32, x: f32) {
+    *slot = x;
+}
+
 #[cfg(feature = "paralel")]
 pub fn fan_out() {}
 

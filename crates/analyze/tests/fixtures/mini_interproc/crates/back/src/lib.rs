@@ -1,0 +1,5 @@
+//! Back crate: the allocating helper, two crates from the hot module.
+
+pub fn far_helper(x: &[f32]) -> Vec<f32> {
+    x.to_vec()
+}

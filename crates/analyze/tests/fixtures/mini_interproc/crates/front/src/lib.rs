@@ -1,0 +1,3 @@
+//! Front crate: owns the hot decode module.
+
+pub mod hot;

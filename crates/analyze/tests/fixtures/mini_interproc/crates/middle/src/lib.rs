@@ -1,0 +1,8 @@
+//! Middle crate: allocation-free pass-through stage.
+
+pub fn mid_stage(x: &[f32], out: &mut [f32]) {
+    let scaled = back::far_helper(x);
+    for (dst, src) in out.iter_mut().zip(scaled.iter()) {
+        *dst = *src;
+    }
+}

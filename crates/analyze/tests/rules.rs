@@ -19,6 +19,13 @@ fn cfg_for(rel_path: &str) -> Config {
         determinism_paths: vec![rel_path.to_string()],
         mul_add_allowed_in: vec![],
         index_paths: vec![rel_path.to_string()],
+        arith_paths: vec![rel_path.to_string()],
+        arith_tracked: vec![
+            "micros".to_string(),
+            "tokens".to_string(),
+            "bytes".to_string(),
+        ],
+        cast_paths: vec![rel_path.to_string()],
         allows: vec![],
     }
 }
@@ -99,6 +106,48 @@ fn panic_bad_fixture_flagged() {
 #[test]
 fn panic_good_fixture_clean() {
     assert_eq!(run("panic_good.rs", "panic-policy"), vec![]);
+}
+
+#[test]
+fn arith_bad_fixture_flagged() {
+    let v = run("arith_bad.rs", "arith-overflow");
+    let pats: Vec<&str> = v.iter().map(|v| v.pattern.as_str()).collect();
+    for expected in ["+", "+=", "*"] {
+        assert!(pats.contains(&expected), "missing `{expected}` in {pats:?}");
+    }
+}
+
+#[test]
+fn arith_good_fixture_clean() {
+    assert_eq!(run("arith_good.rs", "arith-overflow"), vec![]);
+}
+
+#[test]
+fn casts_bad_fixture_flagged() {
+    let v = run("casts_bad.rs", "lossy-cast");
+    let pats: Vec<&str> = v.iter().map(|v| v.pattern.as_str()).collect();
+    for expected in ["f64", "u32", "usize"] {
+        assert!(pats.contains(&expected), "missing `{expected}` in {pats:?}");
+    }
+}
+
+#[test]
+fn casts_good_fixture_clean() {
+    assert_eq!(run("casts_good.rs", "lossy-cast"), vec![]);
+}
+
+#[test]
+fn concurrency_bad_fixture_flagged() {
+    let v = run("concurrency_bad.rs", "concurrency-capture");
+    let pats: Vec<&str> = v.iter().map(|v| v.pattern.as_str()).collect();
+    for expected in ["shared-mut-capture", "static-mut"] {
+        assert!(pats.contains(&expected), "missing `{expected}` in {pats:?}");
+    }
+}
+
+#[test]
+fn concurrency_good_fixture_clean() {
+    assert_eq!(run("concurrency_good.rs", "concurrency-capture"), vec![]);
 }
 
 #[test]

@@ -64,9 +64,52 @@ fn mini_bad_workspace_flags_every_rule() {
         "determinism",
         "panic-policy",
         "cfg-parity",
+        "arith-overflow",
+        "lossy-cast",
+        "concurrency-capture",
     ] {
         assert!(rules.contains(&rule), "missing {rule} in {rules:?}");
     }
+}
+
+#[test]
+fn interproc_gate_catches_allocation_two_crates_away() {
+    let root = fixture_root("mini_interproc");
+    let cfg = load_config(&root);
+    let analysis = analyze_workspace(&root, &cfg).expect("fixture scans");
+    let hits: Vec<_> = analysis
+        .violations
+        .iter()
+        .filter(|v| v.rule == "hot-path-alloc")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:#?}", analysis.violations);
+    assert_eq!(hits[0].path, "crates/back/src/lib.rs");
+    assert_eq!(hits[0].pattern, "to_vec");
+    assert!(
+        hits[0]
+            .message
+            .contains("decode_step -> mid_stage -> far_helper"),
+        "chain missing from message: {}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn report_is_byte_identical_across_scan_parallelism() {
+    let root = repo_root();
+    let cfg = load_config(&root);
+    let mut reports = Vec::new();
+    for jobs in [1usize, 4, 16] {
+        let opts = hnlpu_analyze::AnalyzeOptions {
+            jobs,
+            changed_only: None,
+        };
+        let analysis =
+            hnlpu_analyze::analyze_workspace_with(&root, &cfg, &opts).expect("workspace scans");
+        reports.push(analysis.to_json());
+    }
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[0], reports[2]);
 }
 
 #[test]

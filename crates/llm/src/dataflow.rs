@@ -279,6 +279,19 @@ impl DataflowState {
         self.position = 0;
         self.comm = CommCounters::default();
     }
+
+    /// Pre-size every KV shard for sequences up to `positions` tokens
+    /// (positions stripe `p % 4` across a column's shards), so
+    /// steady-state decode appends without reallocating — held by the
+    /// zero-allocation sentinel in `tests/tests/zero_alloc_decode.rs`.
+    pub fn reserve_context(&mut self, positions: usize) {
+        let per_shard = positions.div_ceil(GRID);
+        for col in &mut self.kv {
+            for shard in col {
+                shard.reserve(per_shard);
+            }
+        }
+    }
 }
 
 /// The dataflow executor.

@@ -231,7 +231,7 @@ impl FaultPlan {
                 Straggler {
                     chip: rng.gen_range(0..CHIPS),
                     from_micros,
-                    until_micros: from_micros + rng.gen_range(1..=horizon),
+                    until_micros: from_micros.saturating_add(rng.gen_range(1..=horizon)),
                     slowdown: 1.5 + rng.gen::<f64>() * 6.5,
                 }
             })
@@ -241,7 +241,7 @@ impl FaultPlan {
                 let from_micros = rng.gen_range(0..horizon);
                 LinkFault {
                     from_micros,
-                    until_micros: from_micros + rng.gen_range(1..=horizon),
+                    until_micros: from_micros.saturating_add(rng.gen_range(1..=horizon)),
                     retries: rng.gen_range(1..=3u32),
                 }
             })
@@ -257,7 +257,9 @@ impl FaultPlan {
             .iter()
             .map(|&submission| Deadline {
                 submission,
-                at_micros: spec.min_deadline_micros + rng.gen_range(0..horizon),
+                at_micros: spec
+                    .min_deadline_micros
+                    .saturating_add(rng.gen_range(0..horizon)),
             })
             .collect();
         FaultPlan {
@@ -341,7 +343,7 @@ impl FaultPlan {
         self.stragglers
             .iter()
             .filter(|s| is_alive(s.chip))
-            .filter(|s| s.from_micros as f64 / 1e6 <= t_s && t_s < s.until_micros as f64 / 1e6)
+            .filter(|s| micros_to_s(s.from_micros) <= t_s && t_s < micros_to_s(s.until_micros))
             .map(|s| s.slowdown)
             .fold(1.0, f64::max)
     }
@@ -351,7 +353,7 @@ impl FaultPlan {
     pub fn link_retries_at(&self, t_s: f64) -> u32 {
         self.link_faults
             .iter()
-            .filter(|l| l.from_micros as f64 / 1e6 <= t_s && t_s < l.until_micros as f64 / 1e6)
+            .filter(|l| micros_to_s(l.from_micros) <= t_s && t_s < micros_to_s(l.until_micros))
             .map(|l| l.retries)
             .fold(0, u32::max)
     }
@@ -363,6 +365,12 @@ impl FaultPlan {
             .find(|d| d.submission == submission)
             .map(|d| d.at_micros)
     }
+}
+
+/// Virtual-time µs → seconds, for fault-window comparisons.
+fn micros_to_s(micros: u64) -> f64 {
+    // cast: fault windows are bounded by the plan horizon (< 2^53 µs), value-preserving in f64
+    micros as f64 / 1e6
 }
 
 #[cfg(test)]

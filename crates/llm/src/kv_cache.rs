@@ -82,6 +82,19 @@ impl KvCache {
         self.layers.len()
     }
 
+    /// Pre-size every layer for `positions` cached positions, so
+    /// steady-state [`append`](Self::append) never reallocates — the
+    /// zero-allocation decode sentinel (`tests/tests/zero_alloc_decode.rs`)
+    /// holds the engine to that.
+    pub fn reserve(&mut self, positions: usize) {
+        let width = self.kv_heads * self.head_dim;
+        let target = positions.saturating_mul(width);
+        for l in &mut self.layers {
+            l.keys.reserve(target.saturating_sub(l.keys.len()));
+            l.values.reserve(target.saturating_sub(l.values.len()));
+        }
+    }
+
     /// Drop every cached position but keep the allocations, so a
     /// recovering sequence re-prefills into warm buffers.
     pub fn clear(&mut self) {

@@ -237,6 +237,15 @@ impl Scratch {
         }
     }
 
+    /// Pre-size the context-length-dependent buffers for sequences up to
+    /// `positions` tokens, so steady-state decode stays reallocation-free
+    /// (held by the zero-allocation sentinel in
+    /// `tests/tests/zero_alloc_decode.rs`).
+    pub fn reserve_context(&mut self, positions: usize) {
+        self.scores
+            .reserve(positions.saturating_sub(self.scores.len()));
+    }
+
     /// Next-token logits produced by the most recent step.
     pub fn logits(&self) -> &[f32] {
         &self.logits

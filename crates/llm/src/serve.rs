@@ -700,7 +700,7 @@ impl OnlineServer {
         self.last_arrival_micros = request.arrival_s_micros;
         let id = SeqId(self.seqs.len());
         self.seqs.push(SeqRecord {
-            arrival_s: request.arrival_s_micros as f64 / 1e6,
+            arrival_s: micros_to_s(request.arrival_s_micros),
             request,
             state: SeqState::Queued,
             slot: None,
@@ -841,12 +841,12 @@ impl OnlineServer {
             }
         }
         if let Some(f) = self.pending_failures.get(self.next_failure) {
-            candidates.push(f.at_micros as f64 / 1e6);
+            candidates.push(micros_to_s(f.at_micros));
         }
         for r in &self.seqs {
             if matches!(r.state, SeqState::Queued | SeqState::Recovering) {
                 if let Some(d) = r.deadline {
-                    candidates.push(d as f64 / 1e6);
+                    candidates.push(micros_to_s(d));
                 }
             }
         }
@@ -885,7 +885,7 @@ impl OnlineServer {
                 (None, Some(c)) | (Some(_), Some(c)) => (c, false),
                 (None, None) => break,
             };
-            self.advance_to(t_micros as f64 / 1e6);
+            self.advance_to(micros_to_s(t_micros));
             if is_submit {
                 if let Some(req) = requests.get(si) {
                     let res = self.submit(req.clone());
@@ -918,7 +918,7 @@ impl OnlineServer {
     /// survives a chip death), and shed queue overflow.
     fn apply_due_faults(&mut self) {
         while let Some(&f) = self.pending_failures.get(self.next_failure) {
-            if f.at_micros as f64 / 1e6 > self.now_s {
+            if micros_to_s(f.at_micros) > self.now_s {
                 break;
             }
             self.next_failure += 1;
@@ -1016,7 +1016,7 @@ impl OnlineServer {
                         | SeqState::Recovering
                         | SeqState::Prefilling
                         | SeqState::Decoding
-                ) && r.deadline.is_some_and(|d| self.now_s > d as f64 / 1e6)
+                ) && r.deadline.is_some_and(|d| self.now_s > micros_to_s(d))
             })
             .map(|(i, _)| SeqId(i))
             .collect();
@@ -1091,7 +1091,10 @@ impl OnlineServer {
                 };
                 let slot = self.engine.recover_slot(carcass, &request);
                 self.recovery.resumed += 1;
-                self.recovery.re_prefill_tokens += slot.prompt.len() as u64;
+                // cast: prompt lengths are usize token counts, value-preserving in u64
+                let re_prefill = slot.prompt.len() as u64;
+                self.recovery.re_prefill_tokens =
+                    self.recovery.re_prefill_tokens.saturating_add(re_prefill);
                 let idx = match self
                     .pool
                     .iter_mut()
@@ -1208,13 +1211,13 @@ impl OnlineServer {
         let stretch = slowdown * retry_round_factor(link_retries);
         let degraded_round = self.health.is_degraded() || stretch > 1.0;
         if degraded_round {
-            self.degraded_rounds += 1;
+            self.degraded_rounds = self.degraded_rounds.saturating_add(1);
         }
         if link_retries > 0 {
-            self.link_retry_rounds += 1;
+            self.link_retry_rounds = self.link_retry_rounds.saturating_add(1);
         }
         self.now_s += self.round_s * stretch;
-        self.rounds += 1;
+        self.rounds = self.rounds.saturating_add(1);
         let mut plan = RoundPlan::default();
 
         // Decode slots claimed at round start (prefill-complete residents)
@@ -1231,6 +1234,7 @@ impl OnlineServer {
                 decoding += 1;
             }
         }
+        // cast: slot budgets are small usize counts, value-preserving in u64
         let mut budget = self.effective_slots.saturating_sub(decoding) as u64;
 
         // FCFS prefill in admission order; a prefill that completes this
@@ -1245,6 +1249,7 @@ impl OnlineServer {
             let Some(slot) = self.pool.get(idx).and_then(Option::as_ref) else {
                 continue;
             };
+            // cast: prompt-token remainders are usize counts, value-preserving in u64
             let remaining = (slot.prompt.len() - slot.prefill_pos) as u64;
             let mut action = Action {
                 prefill: 0,
@@ -1254,9 +1259,10 @@ impl OnlineServer {
                 let take = remaining.min(budget);
                 budget -= take;
                 prefilled += take;
-                action.prefill = take as u32;
+                action.prefill = u32::try_from(take).unwrap_or(u32::MAX);
                 plan.prefill.push((id.0, action.prefill));
             }
+            // cast: u32 → usize is value-preserving on every supported target
             let done_after = slot.prefill_pos + action.prefill as usize == slot.prompt.len();
             if done_after && slot.out.len() < slot.target {
                 action.decode = true;
@@ -1267,8 +1273,8 @@ impl OnlineServer {
                 planned.push((id, idx, action));
             }
         }
-        self.prefill_tokens += prefilled;
-        self.decoded_tokens += decoded;
+        self.prefill_tokens = self.prefill_tokens.saturating_add(prefilled);
+        self.decoded_tokens = self.decoded_tokens.saturating_add(decoded);
 
         // Execute the round through the shared (rayon-or-serial) batch
         // machinery: hand out disjoint &mut borrows of the pool.
@@ -1359,11 +1365,12 @@ impl OnlineServer {
                 }
                 self.events.push_back(ServeEvent::Finished { id, t_s: now });
             } else {
-                kv_bytes += self
+                let slot_bytes = self
                     .pool
                     .get(idx)
                     .and_then(Option::as_ref)
                     .map_or(0, |s| s.state.kv_bytes_fp16());
+                kv_bytes = kv_bytes.saturating_add(slot_bytes);
                 self.resident.push(id);
             }
         }
@@ -1385,6 +1392,7 @@ impl OnlineServer {
             if v.is_empty() {
                 0.0
             } else {
+                // cast: sample counts are small usize values, exact in f64
                 v.iter().sum::<f64>() / v.len() as f64
             }
         };
@@ -1408,6 +1416,7 @@ impl OnlineServer {
             peak_kv_bytes_fp16: self.peak_kv_bytes,
             makespan_s: self.now_s,
             decode_tokens_per_s_virtual: if self.now_s > 0.0 {
+                // cast: decoded-token counts stay far below 2^53, exact in f64
                 self.decoded_tokens as f64 / self.now_s
             } else {
                 0.0
@@ -1459,8 +1468,15 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
+    // cast: sample counts are small (exact in f64) and the rounded rank is clamped by get()
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted.get(idx).copied().unwrap_or(0.0)
+}
+
+/// Virtual-time µs → seconds (arrivals, deadlines, fault timestamps).
+fn micros_to_s(micros: u64) -> f64 {
+    // cast: virtual timestamps are bounded by the run horizon (< 2^53 µs), value-preserving in f64
+    micros as f64 / 1e6
 }
 
 #[cfg(test)]

@@ -1,0 +1,105 @@
+//! Zero-allocation decode sentinel: the dynamic twin of the static
+//! `hot-path-alloc` rule in `hnlpu-analyze`.
+//!
+//! The static analyzer proves no *allocation call* is reachable from the
+//! decode hot path; this test proves the *allocator* agrees. A counting
+//! `#[global_allocator]` wraps the system allocator, and after a warmup
+//! generation the steady-state `step_with` loop must perform exactly
+//! zero heap allocations — under both the rayon and serial builds
+//! (`--features count-alloc` / `--no-default-features --features
+//! count-alloc,…`).
+//!
+//! Run with: `cargo test -p hnlpu-integration --features count-alloc`
+
+#![cfg(feature = "count-alloc")]
+
+use hnlpu::llm::DataflowExecutor;
+use hnlpu::model::{zoo, ModelWeights, WeightGenerator};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator with a relaxed allocation counter.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim to the system allocator.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim to the system allocator.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim to the system allocator.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_decode_performs_zero_allocations() {
+    const PROMPT: &[u32] = &[2, 4, 8, 16];
+    const WARMUP_STEPS: usize = 4;
+    const MEASURED_STEPS: usize = 16;
+
+    let card = zoo::dataflow_test_model();
+    let weights = ModelWeights::materialize(&card.config, &WeightGenerator::new(42));
+    let engine = DataflowExecutor::new(weights);
+    let mut state = engine.new_state();
+    let mut scratch = engine.new_scratch();
+
+    // Size the context-dependent buffers for the whole run up front —
+    // the serving layer does the same per admitted sequence.
+    let horizon = PROMPT.len() + WARMUP_STEPS + MEASURED_STEPS;
+    state.reserve_context(horizon);
+    scratch.reserve_context(horizon);
+
+    // Prefill plus warmup decode: first touches of lazily-sized buffers
+    // (rope table growth, lora scratch, kernel dispatch init) land here.
+    let mut token = *PROMPT.last().expect("non-empty prompt");
+    for &t in PROMPT {
+        engine.step_with(t, &mut state, &mut scratch);
+    }
+    for _ in 0..WARMUP_STEPS {
+        engine.step_with(token, &mut state, &mut scratch);
+        token = argmax(scratch.logits());
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(
+        before > 0,
+        "counter miswired: model construction must have allocated"
+    );
+    for _ in 0..MEASURED_STEPS {
+        engine.step_with(token, &mut state, &mut scratch);
+        token = argmax(scratch.logits());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state decode allocated {} times over {MEASURED_STEPS} steps",
+        after - before
+    );
+}
+
+/// Greedy next token without allocating.
+fn argmax(logits: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > logits[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
