@@ -102,8 +102,11 @@ fn has_slice_index(text: &str) -> bool {
                 "mut", "dyn", "in", "as", "return", "if", "else", "match", "impl", "ref", "const",
                 "static", "break", "where",
             ];
+            // A lifetime before `[` (`&'a [SequenceRequest]`) is a
+            // slice *type*, not an indexing expression.
+            let is_lifetime = k > 0 && bytes[k - 1] == b'\'';
             if let Some(word) = text.get(k..j) {
-                if !KEYWORDS.contains(&word) {
+                if !KEYWORDS.contains(&word) && !is_lifetime {
                     return true;
                 }
             }
@@ -176,6 +179,19 @@ fn f(out: &mut [f32]) -> [f32; 4] {
     out.fill(0.0);
     let _ = v;
     a
+}
+";
+        assert!(check(&FileInput::new("crates/llm/src/batch.rs", src), &cfg()).is_empty());
+    }
+
+    #[test]
+    fn lifetime_annotated_slice_types_are_not_indexing() {
+        let src = "\
+struct Oracle<'a> {
+    requests: &'a [u32],
+}
+fn g<'b>(v: &'b [u32]) -> Option<&'b u32> {
+    v.first()
 }
 ";
         assert!(check(&FileInput::new("crates/llm/src/batch.rs", src), &cfg()).is_empty());

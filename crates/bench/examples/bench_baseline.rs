@@ -24,7 +24,7 @@
 
 use criterion::Criterion;
 use hnlpu::llm::kernels;
-use hnlpu_bench::inference::{inference_suite, TOKENS_PER_ITER};
+use hnlpu_bench::inference::{inference_suite, prefix_cache_effectiveness, TOKENS_PER_ITER};
 use serde_json::Value;
 
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
@@ -56,6 +56,11 @@ const RATIOS: &[(&str, &str, &str)] = &[
         "rows_parallel_speedup_2880",
         "inference/matvec_2880x2880/packed",
         "inference/matvec_2880x2880/rows_parallel",
+    ),
+    (
+        "prefix_prefill_speedup_share90",
+        "inference/prefix_prefill/share0",
+        "inference/prefix_prefill/share90",
     ),
 ];
 
@@ -95,6 +100,14 @@ fn render_point(c: &Criterion, id: &str) -> Value {
         let ratio = ns_of(results, num) / ns_of(results, den);
         fields.push((key.into(), Value::Number((ratio * 1e3).round() / 1e3)));
     }
+    // Cache-effectiveness companions to the prefix-reuse ratio: both are
+    // deterministic functions of the workload, not timing measurements.
+    let (hit_rate, evicted) = prefix_cache_effectiveness();
+    fields.push((
+        "prefix_hit_rate".into(),
+        Value::Number((hit_rate * 1e3).round() / 1e3),
+    ));
+    fields.push(("prefix_pages_evicted".into(), Value::Number(evicted as f64)));
     fields.push((
         "raw_ns_per_iter".into(),
         Value::Object(

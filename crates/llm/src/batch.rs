@@ -15,11 +15,12 @@
 //! is on; with `--no-default-features` the same rounds run serially.
 //! Both paths are bit-exact: no cross-sequence arithmetic exists.
 
-use crate::dataflow::{CommCounters, DataflowExecutor, DataflowState};
+use crate::dataflow::{CommCounters, DataflowExecutor, DataflowState, GRID};
+use crate::kv_cache::{PageBuf, PrefixCache, PrefixCacheConfig, PrefixStats};
 use crate::reference::PrefillStats;
 use crate::sampler::Sampler;
 use crate::scratch::Scratch;
-use hnlpu_sim::scheduler::{BatchScheduler, Request, RoundPlan};
+use hnlpu_sim::scheduler::{BatchScheduler, PrefixOracle, Request, RoundPlan};
 use serde::Serialize;
 use std::fmt;
 use std::time::Instant;
@@ -217,8 +218,16 @@ pub struct BatchRunReport {
     pub prefill_max_panel: usize,
     /// Most sequences resident at once (KV slots in use).
     pub peak_resident: usize,
-    /// Largest pooled KV footprint at fp16 storage, bytes.
+    /// Largest pooled KV footprint at fp16 storage, bytes. This is the
+    /// *logical* footprint (what dense caches of the same fill would
+    /// occupy); shared pages are counted once per referencing sequence.
     pub peak_kv_bytes_fp16: u64,
+    /// Largest physically private KV footprint at fp16 storage, bytes:
+    /// pages owned exclusively by resident sequences. The gap to
+    /// `peak_kv_bytes_fp16` is capacity recovered by prefix sharing.
+    pub peak_kv_owned_bytes_fp16: u64,
+    /// Prefix-reuse counters (all zero when the engine runs dense).
+    pub prefix: PrefixStats,
     /// Measured wall-clock time of the functional execution, seconds.
     pub wall_s: f64,
 }
@@ -262,6 +271,17 @@ pub(crate) struct SeqSlot {
     pub(crate) scratch: Scratch,
     /// Prompt tokens consumed so far.
     pub(crate) prefill_pos: usize,
+    /// Leading prompt positions attached from the shared prefix tree
+    /// (never prefilled by this sequence).
+    pub(crate) matched: usize,
+    /// Whether the prefix tree was consulted for this residency.
+    /// Consultation happens in the first round the slot receives prefill
+    /// budget — the same instant the timing planner's oracle fires — so
+    /// online and offline schedules see identical tree states.
+    pub(crate) consulted: bool,
+    /// Shared-pool page ids this sequence holds references on, released
+    /// exactly once when the sequence leaves its slot.
+    pub(crate) grant: Vec<u32>,
     /// Panel accounting for this sequence's prefill chunks.
     pub(crate) prefill_stats: PrefillStats,
     pub(crate) out: Vec<u32>,
@@ -289,6 +309,7 @@ pub(crate) struct Action {
 pub struct BatchedDataflowExecutor {
     inner: DataflowExecutor,
     max_slots: usize,
+    prefix: Option<PrefixCacheConfig>,
 }
 
 impl BatchedDataflowExecutor {
@@ -300,7 +321,32 @@ impl BatchedDataflowExecutor {
     /// Panics if `max_slots` is zero.
     pub fn new(inner: DataflowExecutor, max_slots: usize) -> Self {
         assert!(max_slots > 0, "need at least one sequence slot");
-        BatchedDataflowExecutor { inner, max_slots }
+        BatchedDataflowExecutor {
+            inner,
+            max_slots,
+            prefix: None,
+        }
+    }
+
+    /// Enable paged prefix reuse: admitted prompts are matched against a
+    /// shared radix tree and matched positions are attached by reference
+    /// instead of being prefilled. `pages_per_block` is forced to the
+    /// grid's shard count — one page per chip per committed block.
+    ///
+    /// Offline plan replay shares with an *unbounded* page budget so the
+    /// timing plan and the functional execution agree on every match;
+    /// `page_budget` governs the online server
+    /// ([`crate::serve::OnlineServer`]), where admission and execution
+    /// are the same loop and budgeted LRU eviction is safe.
+    pub fn with_prefix_cache(mut self, mut cfg: PrefixCacheConfig) -> Self {
+        cfg.pages_per_block = GRID * GRID;
+        self.prefix = Some(cfg);
+        self
+    }
+
+    /// The prefix-reuse configuration, when enabled.
+    pub fn prefix_config(&self) -> Option<PrefixCacheConfig> {
+        self.prefix
     }
 
     /// The wrapped per-sequence executor.
@@ -339,8 +385,30 @@ impl BatchedDataflowExecutor {
             .iter()
             .map(SequenceRequest::to_sim_request)
             .collect();
-        let (timing, plans) = scheduler.plan(&sim_reqs);
-        Ok((self.execute_plan(requests, &plans)?, timing))
+        let Some(cfg) = self.prefix else {
+            let (timing, plans) = scheduler.plan(&sim_reqs);
+            return Ok((self.execute_plan(requests, &plans)?, timing));
+        };
+        // Offline runs share with an unbounded budget: the planning
+        // oracle and the executing engine replay the identical sequence
+        // of match/commit operations on two fresh trees, so eviction
+        // could only ever diverge through grant-release timing the
+        // planner cannot see. With no eviction, plan and execution agree
+        // on every matched length by construction.
+        let shared = PrefixCacheConfig {
+            page_budget: usize::MAX,
+            ..cfg
+        };
+        let mut oracle = PlanOracle {
+            requests,
+            cache: PrefixCache::new(shared),
+        };
+        let (timing, plans) = scheduler.plan_with_prefixes(&sim_reqs, &mut oracle);
+        let mut cache = PrefixCache::new(shared);
+        Ok((
+            self.execute_plan_impl(requests, &plans, Some(&mut cache))?,
+            timing,
+        ))
     }
 
     /// Execute `requests` following `plans` round by round.
@@ -360,6 +428,22 @@ impl BatchedDataflowExecutor {
         requests: &[SequenceRequest],
         plans: &[RoundPlan],
     ) -> Result<BatchRunReport, BatchError> {
+        self.execute_plan_impl(requests, plans, None)
+    }
+
+    /// [`execute_plan`](Self::execute_plan), optionally reading and
+    /// committing prompt prefixes through a shared [`PrefixCache`]. The
+    /// cache must have been consulted by the planner that produced
+    /// `plans` (see [`run_with_scheduler`](Self::run_with_scheduler));
+    /// admission matches at round start, commits land after the round's
+    /// compute, and a finished sequence's page grant is released in the
+    /// round it leaves its slot.
+    fn execute_plan_impl(
+        &self,
+        requests: &[SequenceRequest],
+        plans: &[RoundPlan],
+        mut cache: Option<&mut PrefixCache>,
+    ) -> Result<BatchRunReport, BatchError> {
         for (seq, r) in requests.iter().enumerate() {
             if r.prompt.is_empty() {
                 return Err(BatchError::EmptyPrompt { seq });
@@ -377,6 +461,7 @@ impl BatchedDataflowExecutor {
         let mut prefill_max_panel = 0usize;
         let mut peak_resident = 0usize;
         let mut peak_kv_bytes = 0u64;
+        let mut peak_kv_owned = 0u64;
 
         for plan in plans {
             // Admit sequences first referenced this round (prefill entries
@@ -387,6 +472,11 @@ impl BatchedDataflowExecutor {
                 };
                 if entry.is_none() {
                     let slot = self.admit(&mut pool, requests, seq)?;
+                    if let Some(cache) = cache.as_deref_mut() {
+                        if let Some(s) = pool.get_mut(slot).and_then(Option::as_mut) {
+                            Self::attach_match(s, cache);
+                        }
+                    }
                     if let Some(entry) = slot_of.get_mut(seq) {
                         *entry = Some(slot);
                     }
@@ -456,12 +546,39 @@ impl BatchedDataflowExecutor {
 
             self.run_round(work);
 
+            // Commit completed prompts into the shared tree before any
+            // harvest below can drop their state: each new block's pages
+            // are frozen in place (owned → shared, no copy) and later
+            // rounds' admissions match against them.
+            if let Some(cache) = cache.as_deref_mut() {
+                for &(seq, _) in &plan.prefill {
+                    let Some(&Some(idx)) = slot_of.get(seq) else {
+                        continue;
+                    };
+                    let Some(slot) = pool.get_mut(idx).and_then(Option::as_mut) else {
+                        continue;
+                    };
+                    if slot.prefill_pos == slot.prompt.len() {
+                        let SeqSlot {
+                            prompt,
+                            state,
+                            grant,
+                            ..
+                        } = slot;
+                        cache.commit(prompt, |b| state.share_block(b), grant);
+                    }
+                }
+            }
+
             // Evict finished sequences, harvesting their results.
             for slot in pool.iter_mut() {
                 if slot.as_ref().is_some_and(SeqSlot::finished) {
-                    let Some(done) = slot.take() else {
+                    let Some(mut done) = slot.take() else {
                         continue;
                     };
+                    if let Some(cache) = cache.as_deref_mut() {
+                        cache.release_grant(&mut done.grant);
+                    }
                     if let Some(entry) = slot_of.get_mut(done.seq) {
                         *entry = None;
                     }
@@ -477,6 +594,12 @@ impl BatchedDataflowExecutor {
             }
             let kv_bytes: u64 = pool.iter().flatten().map(|s| s.state.kv_bytes_fp16()).sum();
             peak_kv_bytes = peak_kv_bytes.max(kv_bytes);
+            let kv_owned: u64 = pool
+                .iter()
+                .flatten()
+                .map(|s| s.state.kv_owned_bytes_fp16())
+                .sum();
+            peak_kv_owned = peak_kv_owned.max(kv_owned);
         }
         if let Some(still) = pool.iter().flatten().next() {
             return Err(BatchError::Unfinished { seq: still.seq });
@@ -494,8 +617,29 @@ impl BatchedDataflowExecutor {
             prefill_max_panel,
             peak_resident,
             peak_kv_bytes_fp16: peak_kv_bytes,
+            peak_kv_owned_bytes_fp16: peak_kv_owned,
+            prefix: match &cache {
+                Some(c) => c.stats(),
+                None => PrefixStats::default(),
+            },
             wall_s: started.elapsed().as_secs_f64(),
         })
+    }
+
+    /// Match a freshly admitted slot's prompt against the shared tree
+    /// and attach the hit: matched full blocks by reference, the
+    /// copy-on-write boundary page (if any) by copy. The slot then
+    /// prefills only the unmatched suffix.
+    pub(crate) fn attach_match(slot: &mut SeqSlot, cache: &mut PrefixCache) {
+        slot.consulted = true;
+        let m = cache.match_prompt(&slot.prompt);
+        if m.matched == 0 {
+            return;
+        }
+        cache.retain_match(&m, &mut slot.grant);
+        slot.state.attach_prefix(m.matched, &m.blocks, cache.pool());
+        slot.matched = m.matched;
+        slot.prefill_pos = m.matched;
     }
 
     /// A fresh resident-sequence slot for `req`, tagged `seq`. Used by
@@ -510,6 +654,9 @@ impl BatchedDataflowExecutor {
             state: self.inner.new_state(),
             scratch: self.inner.new_scratch(),
             prefill_pos: 0,
+            matched: 0,
+            consulted: false,
+            grant: Vec::new(),
             prefill_stats: PrefillStats::default(),
             out: Vec::new(),
         }
@@ -531,11 +678,17 @@ impl BatchedDataflowExecutor {
     /// bit-for-bit. Sampler state, emitted tokens, and panel stats are
     /// retained; only the context is rebuilt.
     pub(crate) fn recover_slot(&self, mut carcass: SeqSlot, req: &SequenceRequest) -> SeqSlot {
+        debug_assert!(
+            carcass.grant.is_empty(),
+            "evicted slot must have released its page grant"
+        );
         carcass.state.reset_context();
         let mut prompt = req.prompt.clone();
         prompt.extend_from_slice(&carcass.out);
         carcass.prompt = prompt;
         carcass.prefill_pos = 0;
+        carcass.matched = 0;
+        carcass.consulted = false;
         carcass
     }
 
@@ -615,6 +768,40 @@ impl BatchedDataflowExecutor {
                     .step_with(next, &mut slot.state, &mut slot.scratch);
             }
         }
+    }
+}
+
+/// The timing planner's view of the prefix cache: it holds the real
+/// prompts (the scheduler only knows counts) and mirrors the engine's
+/// match/commit schedule on a tree of placeholder pages, so the plan
+/// charges exactly the suffixes the engine will prefill.
+struct PlanOracle<'a> {
+    requests: &'a [SequenceRequest],
+    cache: PrefixCache,
+}
+
+impl PrefixOracle for PlanOracle<'_> {
+    fn matched_on_admit(&mut self, seq: usize, _req: &Request) -> u32 {
+        match self.requests.get(seq) {
+            Some(r) => self.cache.match_prompt(&r.prompt).matched as u32,
+            None => 0,
+        }
+    }
+
+    fn on_prefill_complete(&mut self, seq: usize, _req: &Request) {
+        let Some(r) = self.requests.get(seq) else {
+            return;
+        };
+        let per_block = self.cache.config().pages_per_block;
+        let mut grant = Vec::new();
+        self.cache.commit(
+            &r.prompt,
+            |_| vec![PageBuf::placeholder(); per_block],
+            &mut grant,
+        );
+        // Planning tracks tree shape only; pages stay alive through the
+        // tree's own references (the budget is unbounded offline).
+        self.cache.release_grant(&mut grant);
     }
 }
 
@@ -800,6 +987,67 @@ mod tests {
         assert_eq!(report.prefill_tokens, 5);
         assert_eq!(report.prefill_panels, 2);
         assert_eq!(report.prefill_max_panel, 3);
+    }
+
+    /// A 40-token deterministic "system prompt" for sharing tests.
+    fn system_prefix() -> Vec<u32> {
+        (0..40u32).map(|i| (i * 7 + 3) % 97).collect()
+    }
+
+    fn with_suffix(arrival: u64, tail: &[u32], decode: u32) -> SequenceRequest {
+        let mut prompt = system_prefix();
+        prompt.extend_from_slice(tail);
+        SequenceRequest::greedy(arrival, prompt, decode)
+    }
+
+    #[test]
+    fn prefix_reuse_is_token_exact_and_charges_only_suffixes() {
+        let dense_eng = engine();
+        let shared_eng = engine().with_prefix_cache(PrefixCacheConfig::default());
+        // Wave 1 commits the system prompt's two full blocks; wave 2
+        // arrives after it finished and matches 32 positions each.
+        let requests = vec![
+            with_suffix(0, &[5, 9], 6),
+            with_suffix(2_000_000, &[5, 9], 6),
+            with_suffix(2_000_000, &[70, 71, 72], 4),
+        ];
+        let (dense, _) = dense_eng
+            .run_with_scheduler(&requests, &scheduler())
+            .expect("dense plan executes");
+        let (shared, timing) = shared_eng
+            .run_with_scheduler(&requests, &scheduler())
+            .expect("shared plan executes");
+        assert_eq!(dense.outputs, shared.outputs);
+        // Dense prefills 42 + 42 + 43 tokens; sharing serves 32 cached
+        // positions to each wave-2 sequence.
+        assert_eq!(dense.prefill_tokens, 127);
+        assert_eq!(shared.prefill_tokens, 127 - 2 * 32);
+        // The timing plan charged the identical suffixes.
+        assert_eq!(timing.prefill_tokens, shared.prefill_tokens);
+        assert_eq!(shared.prefix.lookups, 3);
+        assert_eq!(shared.prefix.hits, 2);
+        assert_eq!(shared.prefix.reused_positions, 64);
+        assert!(shared.prefix.committed_blocks >= 2);
+        assert_eq!(dense.prefix.lookups, 0);
+    }
+
+    #[test]
+    fn simultaneous_identical_prompts_commit_once() {
+        let shared_eng = engine().with_prefix_cache(PrefixCacheConfig::default());
+        let requests = vec![with_suffix(0, &[1], 3), with_suffix(0, &[1], 3)];
+        let (report, _) = shared_eng
+            .run_with_scheduler(&requests, &scheduler())
+            .expect("plan executes");
+        // Both admitted the same round: neither matches (the tree is
+        // empty at round start) and the duplicate commit deduplicates.
+        assert_eq!(report.prefill_tokens, 2 * 41);
+        assert_eq!(report.prefix.hits, 0);
+        assert_eq!(report.prefix.committed_blocks, 2);
+        assert_eq!(report.outputs[0], report.outputs[1]);
+        let solo = shared_eng
+            .executor()
+            .generate_greedy(&requests[0].prompt, 3);
+        assert_eq!(report.outputs[0], solo);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::kernels::{
     matmul_block_into, matmul_into, matvec_block_into, matvec_into, matvec_rows_split_into,
     ROW_SPLITS,
 };
-use crate::kv_cache::KvCache;
+use crate::kv_cache::{KvCache, PagePool, PageRef, BLOCK_POSITIONS, PAGE_SLOTS};
 use crate::lora::LoraAdapter;
 use crate::ops::{rmsnorm_into, softmax, softmax_in_place, swiglu_in_place, topk_into};
 use crate::reference::PrefillStats;
@@ -291,6 +291,75 @@ impl DataflowState {
                 shard.reserve(per_shard);
             }
         }
+    }
+
+    /// Physically private KV bytes across all shards — pages shared
+    /// through a [`PagePool`] are charged once to the pool, so the gap
+    /// between this and [`kv_bytes_fp16`](Self::kv_bytes_fp16) is the
+    /// effective capacity gained by prefix reuse.
+    pub fn kv_owned_bytes_fp16(&self) -> u64 {
+        self.kv
+            .iter()
+            .flat_map(|col| col.iter())
+            .map(KvCache::owned_bytes_fp16)
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Attach a matched prompt prefix of `matched` global positions so
+    /// they are read through shared pages instead of being re-prefilled.
+    ///
+    /// `blocks[b]` holds the pool page ids of global block `b` in shard
+    /// order `col * GRID + chip_in_col`; when `matched` ends mid-block,
+    /// the final set is the copy-on-write boundary — each shard with
+    /// positions in the partial block takes a private copy of that page,
+    /// so divergent appends never touch the committed original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is not fresh or `blocks` does not cover
+    /// `matched` positions.
+    pub fn attach_prefix(&mut self, matched: usize, blocks: &[Box<[u32]>], pool: &PagePool) {
+        assert_eq!(self.position, 0, "attach_prefix requires a fresh state");
+        assert_eq!(
+            blocks.len(),
+            matched.div_ceil(BLOCK_POSITIONS),
+            "covering blocks"
+        );
+        let full = matched / BLOCK_POSITIONS;
+        for (c, col) in self.kv.iter_mut().enumerate() {
+            for (chip, shard) in col.iter_mut().enumerate() {
+                let idx = c * GRID + chip;
+                // Positions `p < matched` with `p % 4 == chip`.
+                let local_len = (matched + GRID - 1 - chip) / GRID;
+                let shared: Vec<PageRef> = blocks[..full]
+                    .iter()
+                    .map(|b| std::sync::Arc::clone(pool.page(b[idx])))
+                    .collect();
+                let boundary_slots = local_len.saturating_sub(full * PAGE_SLOTS);
+                let boundary = if boundary_slots > 0 {
+                    Some(pool.page(blocks[full][idx]))
+                } else {
+                    None
+                };
+                shard.attach_shared(&shared, boundary, local_len);
+            }
+        }
+        self.position = matched;
+    }
+
+    /// Freeze global block `block` across all 16 shards and hand out
+    /// its pages in shard order `col * GRID + chip_in_col`, ready to
+    /// commit into a shared prefix tree. Owned pages are handed over
+    /// without copying the floats; the state keeps reading them through
+    /// the shared handles.
+    pub fn share_block(&mut self, block: usize) -> Vec<PageRef> {
+        let mut out = Vec::with_capacity(GRID * GRID);
+        for col in &mut self.kv {
+            for shard in col {
+                out.push(shard.share_page(block));
+            }
+        }
+        out
     }
 }
 
@@ -1604,5 +1673,88 @@ mod tests {
         let a = reference.generate(&[3, 1, 4], 10, &mut s1);
         let (b, _) = hnlpu.generate_with_report(&[3, 1, 4], 10, &mut s2);
         assert_eq!(a, b);
+    }
+
+    /// Prefill a donor state, freeze its prompt blocks into a pool, and
+    /// attach them to a fresh state: the attached sequence must produce
+    /// bit-identical logits and decode tokens while skipping the
+    /// matched prefill entirely — for both a block-aligned match and a
+    /// mid-block (copy-on-write boundary) match.
+    #[test]
+    fn attached_prefix_decodes_bit_identically() {
+        let w = weights();
+        let hnlpu = DataflowExecutor::new(w);
+        let vocab = hnlpu.config().vocab_size as u32;
+        let prompt: Vec<u32> = (0..37u32).map(|i| (i * 13 + 5) % vocab).collect();
+
+        // Donor: full prefill, then freeze the two full prompt blocks.
+        let mut donor = hnlpu.new_state();
+        let mut scratch = hnlpu.new_scratch();
+        for &t in &prompt {
+            hnlpu.step_with(t, &mut donor, &mut scratch);
+        }
+        let mut pool = PagePool::default();
+        let blocks: Vec<Box<[u32]>> = (0..2)
+            .map(|b| {
+                donor
+                    .share_block(b)
+                    .into_iter()
+                    .map(|r| pool.register(r))
+                    .collect()
+            })
+            .collect();
+
+        for matched in [32usize, 30] {
+            // Baseline: a fresh state prefilled token by token.
+            let mut base = hnlpu.new_state();
+            let mut base_scratch = hnlpu.new_scratch();
+            for &t in &prompt {
+                hnlpu.step_with(t, &mut base, &mut base_scratch);
+            }
+            let covering = matched.div_ceil(BLOCK_POSITIONS);
+            let mut state = hnlpu.new_state();
+            let mut s = hnlpu.new_scratch();
+            state.attach_prefix(matched, &blocks[..covering], &pool);
+            assert_eq!(state.position(), matched);
+            assert_eq!(state.kv_bytes_fp16(), {
+                let mut probe = hnlpu.new_state();
+                for &t in &prompt[..matched] {
+                    hnlpu.step_with(t, &mut probe, &mut scratch);
+                }
+                probe.kv_bytes_fp16()
+            });
+            // The unmatched suffix is the only prefill work left.
+            for &t in &prompt[matched..] {
+                hnlpu.step_with(t, &mut state, &mut s);
+            }
+            assert_eq!(
+                s.logits(),
+                base_scratch.logits(),
+                "matched {matched}: prompt logits"
+            );
+            // Greedy decode stays bit-identical for a while.
+            let mut a = state.clone();
+            let mut b = base.clone();
+            let mut tok_a = Sampler::Greedy.sample(s.logits());
+            let mut tok_b = tok_a;
+            for step in 0..8 {
+                hnlpu.step_with(tok_a, &mut a, &mut s);
+                hnlpu.step_with(tok_b, &mut b, &mut base_scratch);
+                assert_eq!(s.logits(), base_scratch.logits(), "step {step}");
+                tok_a = Sampler::Greedy.sample(s.logits());
+                tok_b = Sampler::Greedy.sample(base_scratch.logits());
+            }
+        }
+
+        // Shared pages mean most of the attached KV is not privately
+        // owned: a fully attached 32-position prefix charges less
+        // physical memory than the same fill prefilled densely.
+        let mut dense = hnlpu.new_state();
+        for &t in &prompt[..32] {
+            hnlpu.step_with(t, &mut dense, &mut scratch);
+        }
+        let mut shared_state = hnlpu.new_state();
+        shared_state.attach_prefix(32, &blocks, &pool);
+        assert!(shared_state.kv_owned_bytes_fp16() < dense.kv_owned_bytes_fp16());
     }
 }

@@ -70,7 +70,10 @@ pub mod tokenizer;
 pub use batch::{BatchRunReport, BatchedDataflowExecutor, RecoveryStats, SequenceRequest};
 pub use dataflow::{CommCounters, DataflowExecutor, DegradedLayout, GridError, GridHealth};
 pub use fault::{ChaosSpec, FaultError, FaultPlan};
-pub use kv_cache::KvCache;
+pub use kv_cache::{
+    KvCache, PageBuf, PagePool, PageRef, PrefixCache, PrefixCacheConfig, PrefixMatch, PrefixStats,
+    BLOCK_POSITIONS, PAGE_SLOTS,
+};
 pub use lora::LoraAdapter;
 pub use naive::NaiveTransformer;
 pub use reference::Transformer;

@@ -55,6 +55,7 @@
 use crate::batch::{Action, BatchedDataflowExecutor, RecoveryStats, SeqSlot, SequenceRequest};
 use crate::dataflow::{CommCounters, DegradedLayout, GridHealth};
 use crate::fault::{ChipFailure, FaultError, FaultPlan};
+use crate::kv_cache::{PrefixCache, PrefixStats};
 use hnlpu_sim::fabric::retry_round_factor;
 use hnlpu_sim::scheduler::{BatchScheduler, RoundPlan};
 use serde::Serialize;
@@ -404,8 +405,14 @@ pub struct SloReport {
     pub decoded_tokens: u64,
     /// Most sequences resident at once (KV slots in use).
     pub peak_resident: usize,
-    /// Largest pooled KV footprint at fp16 storage, bytes.
+    /// Largest pooled KV footprint at fp16 storage, bytes (logical:
+    /// shared pages counted once per referencing sequence).
     pub peak_kv_bytes_fp16: u64,
+    /// Largest physically private KV footprint, bytes. The gap to
+    /// `peak_kv_bytes_fp16` is capacity recovered by prefix sharing.
+    pub peak_kv_owned_bytes_fp16: u64,
+    /// Prefix-reuse counters (all zero for a dense engine).
+    pub prefix: PrefixStats,
     /// Final virtual time, seconds.
     pub makespan_s: f64,
     /// Decode throughput in virtual time, tokens/s.
@@ -515,6 +522,14 @@ pub struct OnlineServer {
     /// plan's deadlines key on, so a trace's deadline targets stay stable
     /// regardless of rejections.
     submit_attempts: usize,
+    /// Shared prefix tree + page pool, when the engine was built with
+    /// [`BatchedDataflowExecutor::with_prefix_cache`]. Unlike the offline
+    /// path (which rebuilds its tree per run), this cache persists across
+    /// the server's whole lifetime — and is flushed whole on chip death,
+    /// since every committed page stripes across all 16 chips.
+    prefix: Option<PrefixCache>,
+    /// Largest physically private KV footprint observed, bytes.
+    peak_kv_owned_bytes: u64,
 }
 
 impl OnlineServer {
@@ -566,11 +581,14 @@ impl OnlineServer {
             DegradedLayout::for_health(&health).map_err(|_| ServeError::InvalidFaultPlan {
                 error: FaultError::NoSurvivors,
             })?;
+        let prefix = engine.prefix_config().map(PrefixCache::new);
         Ok(OnlineServer {
             round_s: scheduler.round_s(),
             slots,
             queue_capacity,
             engine,
+            prefix,
+            peak_kv_owned_bytes: 0,
             now_s: 0.0,
             last_arrival_micros: 0,
             waiting: VecDeque::new(),
@@ -665,6 +683,13 @@ impl OnlineServer {
         &self.engine
     }
 
+    /// The server's shared prefix cache, when the engine enables one —
+    /// exposed so harnesses can check refcount-ledger invariants (every
+    /// page freed exactly once) after a run drains.
+    pub fn prefix_cache(&self) -> Option<&PrefixCache> {
+        self.prefix.as_ref()
+    }
+
     /// Submit a request to the admission queue. The request's
     /// `arrival_s_micros` stamps its place in the virtual arrival
     /// process; submissions must be fed in non-decreasing arrival order
@@ -748,7 +773,10 @@ impl OnlineServer {
                 rec.state = SeqState::Cancelled;
                 rec.finish_s = Some(self.now_s);
                 if let Some(idx) = rec.slot.take() {
-                    if let Some(gone) = self.pool.get_mut(idx).and_then(Option::take) {
+                    if let Some(mut gone) = self.pool.get_mut(idx).and_then(Option::take) {
+                        if let Some(cache) = self.prefix.as_mut() {
+                            cache.release_grant(&mut gone.grant);
+                        }
                         rec.comm += gone.state.comm;
                         rec.slot_frees += 1;
                     }
@@ -937,6 +965,13 @@ impl OnlineServer {
                 t_s: self.now_s,
             });
             self.evict_all_resident(f.chip);
+            // Every committed page stripes one shard per chip, so the
+            // dead chip invalidates the entire tree: drop each tree
+            // reference exactly once. Residents released their grants in
+            // the eviction above, so this frees every page.
+            if let Some(cache) = self.prefix.as_mut() {
+                cache.flush();
+            }
             self.shed_queue_overflow();
         }
     }
@@ -951,13 +986,19 @@ impl OnlineServer {
             let Some(rec) = self.seqs.get_mut(id.0) else {
                 continue;
             };
-            let Some(carcass) = rec
+            let Some(mut carcass) = rec
                 .slot
                 .take()
                 .and_then(|idx| self.pool.get_mut(idx).and_then(Option::take))
             else {
                 continue;
             };
+            // A died chip invalidates the sequence's shared pages along
+            // with its private ones: drop its page references exactly
+            // once, before the caller flushes the whole tree.
+            if let Some(cache) = self.prefix.as_mut() {
+                cache.release_grant(&mut carcass.grant);
+            }
             self.recovery.evictions += 1;
             rec.comm += carcass.state.comm;
             rec.slot_frees += 1;
@@ -1036,7 +1077,10 @@ impl OnlineServer {
             return;
         };
         if let Some(idx) = rec.slot.take() {
-            if let Some(gone) = self.pool.get_mut(idx).and_then(Option::take) {
+            if let Some(mut gone) = self.pool.get_mut(idx).and_then(Option::take) {
+                if let Some(cache) = self.prefix.as_mut() {
+                    cache.release_grant(&mut gone.grant);
+                }
                 rec.comm += gone.state.comm;
                 rec.slot_frees += 1;
             }
@@ -1246,9 +1290,19 @@ impl OnlineServer {
             let Some(idx) = self.seqs.get(id.0).and_then(|r| r.slot) else {
                 continue;
             };
-            let Some(slot) = self.pool.get(idx).and_then(Option::as_ref) else {
+            let Some(slot) = self.pool.get_mut(idx).and_then(Option::as_mut) else {
                 continue;
             };
+            // First round with prefill budget: match the prompt against
+            // the shared tree and attach the hit, so only the unmatched
+            // suffix is charged below — the same lazy consultation the
+            // timing planner's oracle performs.
+            if !slot.consulted && budget > 0 && slot.prefill_pos < slot.prompt.len() {
+                if let Some(cache) = self.prefix.as_mut() {
+                    BatchedDataflowExecutor::attach_match(slot, cache);
+                }
+            }
+            let slot = &*slot;
             // cast: prompt-token remainders are usize counts, value-preserving in u64
             let remaining = (slot.prompt.len() - slot.prefill_pos) as u64;
             let mut action = Action {
@@ -1288,6 +1342,31 @@ impl OnlineServer {
                 }
             }
             self.engine.run_round(work);
+        }
+
+        // Commit completed prompts into the shared tree, in admission
+        // order, before completions are evicted below: each new block's
+        // pages freeze in place (owned → shared, no copy) and strictly
+        // later rounds match against them — the same end-of-round commit
+        // schedule the offline engine and the timing planner follow.
+        if let Some(cache) = self.prefix.as_mut() {
+            for &(_, idx, action) in &planned {
+                if action.prefill == 0 {
+                    continue;
+                }
+                let Some(slot) = self.pool.get_mut(idx).and_then(Option::as_mut) else {
+                    continue;
+                };
+                if slot.prefill_pos == slot.prompt.len() {
+                    let SeqSlot {
+                        prompt,
+                        state,
+                        grant,
+                        ..
+                    } = slot;
+                    cache.commit(prompt, |b| state.share_block(b), grant);
+                }
+            }
         }
 
         // Stream freshly decoded tokens and advance lifecycle states.
@@ -1341,6 +1420,7 @@ impl OnlineServer {
         // surviving pool footprint.
         let resident = std::mem::take(&mut self.resident);
         let mut kv_bytes = 0u64;
+        let mut kv_owned = 0u64;
         for id in resident {
             let Some(idx) = self.seqs.get(id.0).and_then(|r| r.slot) else {
                 continue;
@@ -1351,9 +1431,12 @@ impl OnlineServer {
                 .and_then(Option::as_ref)
                 .is_some_and(SeqSlot::finished);
             if finished {
-                let Some(done) = self.pool.get_mut(idx).and_then(Option::take) else {
+                let Some(mut done) = self.pool.get_mut(idx).and_then(Option::take) else {
                     continue;
                 };
+                if let Some(cache) = self.prefix.as_mut() {
+                    cache.release_grant(&mut done.grant);
+                }
                 if let Some(rec) = self.seqs.get_mut(id.0) {
                     // `+=`: a recovered sequence's pre-eviction counters
                     // were harvested at eviction time.
@@ -1365,16 +1448,20 @@ impl OnlineServer {
                 }
                 self.events.push_back(ServeEvent::Finished { id, t_s: now });
             } else {
-                let slot_bytes = self
+                let (slot_bytes, slot_owned) = self
                     .pool
                     .get(idx)
                     .and_then(Option::as_ref)
-                    .map_or(0, |s| s.state.kv_bytes_fp16());
+                    .map_or((0, 0), |s| {
+                        (s.state.kv_bytes_fp16(), s.state.kv_owned_bytes_fp16())
+                    });
                 kv_bytes = kv_bytes.saturating_add(slot_bytes);
+                kv_owned = kv_owned.saturating_add(slot_owned);
                 self.resident.push(id);
             }
         }
         self.peak_kv_bytes = self.peak_kv_bytes.max(kv_bytes);
+        self.peak_kv_owned_bytes = self.peak_kv_owned_bytes.max(kv_owned);
         self.plans.push(plan);
     }
 
@@ -1414,6 +1501,11 @@ impl OnlineServer {
             decoded_tokens: self.decoded_tokens,
             peak_resident: self.peak_resident,
             peak_kv_bytes_fp16: self.peak_kv_bytes,
+            peak_kv_owned_bytes_fp16: self.peak_kv_owned_bytes,
+            prefix: match &self.prefix {
+                Some(c) => c.stats(),
+                None => PrefixStats::default(),
+            },
             makespan_s: self.now_s,
             decode_tokens_per_s_virtual: if self.now_s > 0.0 {
                 // cast: decoded-token counts stay far below 2^53, exact in f64

@@ -109,6 +109,11 @@ struct Resident {
     remaining_prefill: u32,
     remaining_decode: u32,
     arrival_s: f64,
+    /// Whether the prefix oracle was consulted yet. Consultation is lazy —
+    /// it happens the first round the sequence receives prefill slots,
+    /// which is exactly when the functional engine admits it into a KV
+    /// slot and matches its prompt against the shared tree.
+    consulted: bool,
 }
 
 impl BatchScheduler {
@@ -166,6 +171,22 @@ impl BatchScheduler {
     /// As [`run`](Self::run), but also return the per-round slot
     /// assignments so a functional engine can execute the same schedule.
     pub fn plan(&self, requests: &[Request]) -> (SchedulerReport, Vec<RoundPlan>) {
+        self.plan_with_prefixes(requests, &mut NoPrefix)
+    }
+
+    /// As [`plan`](Self::plan), but admissions consult a [`PrefixOracle`]
+    /// so the schedule charges only the *unmatched suffix* of each
+    /// prompt: tokens served from a shared prefix cache never occupy a
+    /// prefill slot. The oracle's commit hook fires, in admission order,
+    /// for every sequence the round finishes prefilling — mirroring the
+    /// engine, where a prompt's blocks enter the shared tree at the end
+    /// of the round that completes its prefill, and admissions only see
+    /// commits from strictly earlier rounds.
+    pub fn plan_with_prefixes(
+        &self,
+        requests: &[Request],
+        oracle: &mut dyn PrefixOracle,
+    ) -> (SchedulerReport, Vec<RoundPlan>) {
         let mut queue: Vec<(usize, Request)> = requests.iter().copied().enumerate().collect();
         // Stable: equal arrivals keep input order.
         queue.sort_by_key(|(_, r)| r.arrival_s_micros);
@@ -199,6 +220,7 @@ impl BatchScheduler {
                     remaining_prefill: req.prompt_tokens,
                     remaining_decode: req.decode_tokens,
                     arrival_s: req.arrival_s_micros as f64 / 1e6,
+                    consulted: false,
                 });
             }
             if resident.is_empty() {
@@ -224,18 +246,42 @@ impl BatchScheduler {
             // First-come-first-served prefill: finish early arrivals'
             // prompts before starting later ones (minimizes makespan and
             // matches continuous-batching practice).
+            let mut completed: Vec<(usize, Request)> = Vec::new();
             for r in resident.iter_mut() {
                 if prefill_budget == 0 {
                     break;
                 }
                 if r.remaining_prefill > 0 {
+                    if !r.consulted {
+                        // Charge only the unmatched suffix: a cache can
+                        // serve at most `prompt_tokens - 1` positions
+                        // because the final prompt token must run to
+                        // produce the first decode's logits. The clamp
+                        // also guarantees a consulted sequence prefills
+                        // at least one token this round.
+                        r.consulted = true;
+                        let matched = oracle
+                            .matched_on_admit(r.seq, &r.req)
+                            .min(r.req.prompt_tokens.saturating_sub(1));
+                        r.remaining_prefill -= matched;
+                    }
                     let take = r.remaining_prefill.min(prefill_budget as u32);
                     r.remaining_prefill -= take;
                     prefill_budget -= take as u64;
                     prefilled += take as u64;
                     used += take as u64;
                     plan.prefill.push((r.seq, take));
+                    if r.remaining_prefill == 0 {
+                        completed.push((r.seq, r.req));
+                    }
                 }
+            }
+            // Commits land at the end of the round, so every consultation
+            // within one round sees the same tree — exactly what the
+            // functional engine does (admit + match at round start, commit
+            // completed prompts after the round's compute).
+            for (seq, req) in &completed {
+                oracle.on_prefill_complete(*seq, req);
             }
             occupancy_sum += used as f64 / slots as f64;
             let mut still = Vec::with_capacity(resident.len());
@@ -273,6 +319,43 @@ impl BatchScheduler {
         };
         (report, plans)
     }
+}
+
+/// Admission-time prefix consultation for
+/// [`plan_with_prefixes`](BatchScheduler::plan_with_prefixes).
+///
+/// The scheduler is a pure timing model: it knows token *counts*, not token
+/// *ids*. An oracle holding the real prompts (e.g. a planning
+/// `hnlpu-llm::PrefixCache`) answers how many leading positions of each
+/// admitted sequence are already resident in the shared prefix tree, and is
+/// told when a sequence's prefill completes so its blocks become matchable
+/// by strictly later rounds — exactly the commit schedule the functional
+/// engine follows.
+pub trait PrefixOracle {
+    /// Leading prompt positions of `seq` served from cache. Called once
+    /// per sequence, in the round it first receives prefill slots — the
+    /// round the functional engine admits it into a KV slot and matches
+    /// its prompt. The scheduler clamps the answer to `prompt_tokens - 1`:
+    /// the final prompt token is always prefilled to produce the first
+    /// decode's logits.
+    fn matched_on_admit(&mut self, seq: usize, req: &Request) -> u32;
+
+    /// `seq` finished prefilling this round; its prompt blocks are now
+    /// committed and visible to later admissions.
+    fn on_prefill_complete(&mut self, seq: usize, req: &Request);
+}
+
+/// The null oracle: nothing matches, commits are ignored. [`plan`]
+/// (BatchScheduler::plan) delegates through this, so dense scheduling is
+/// the `NoPrefix` special case.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrefix;
+
+impl PrefixOracle for NoPrefix {
+    fn matched_on_admit(&mut self, _seq: usize, _req: &Request) -> u32 {
+        0
+    }
+    fn on_prefill_complete(&mut self, _seq: usize, _req: &Request) {}
 }
 
 #[cfg(test)]
@@ -440,6 +523,64 @@ mod tests {
         let rep = scheduler().run(&reqs);
         assert_eq!(rep.completions.len(), 217);
         assert_eq!(rep.decoded_tokens, 216 * 300 + 1);
+    }
+
+    fn build(specs: &[(u64, u32, u32)]) -> Vec<Request> {
+        specs
+            .iter()
+            .map(|&(a, p, d)| Request::new(a, p, d))
+            .collect()
+    }
+
+    /// Fixed per-sequence match counts plus a commit log, for checking the
+    /// oracle plumbing without a real prefix tree.
+    struct FixedOracle {
+        matched: Vec<u32>,
+        commits: Vec<usize>,
+    }
+
+    impl PrefixOracle for FixedOracle {
+        fn matched_on_admit(&mut self, seq: usize, _req: &Request) -> u32 {
+            self.matched.get(seq).copied().unwrap_or(0)
+        }
+        fn on_prefill_complete(&mut self, seq: usize, _req: &Request) {
+            self.commits.push(seq);
+        }
+    }
+
+    #[test]
+    fn oracle_charges_only_the_unmatched_suffix() {
+        let reqs = build(&[(0, 100, 5), (0, 100, 5), (0, 100, 5)]);
+        let (dense, _) = scheduler().plan(&reqs);
+        // Seq 1 matches 60 positions, seq 2 matches its whole prompt —
+        // clamped to 99 so the final token still prefills.
+        let mut oracle = FixedOracle {
+            matched: vec![0, 60, 400],
+            commits: Vec::new(),
+        };
+        let (rep, plans) = scheduler().plan_with_prefixes(&reqs, &mut oracle);
+        assert_eq!(rep.prefill_tokens, dense.prefill_tokens - 60 - 99);
+        assert_eq!(rep.decoded_tokens, dense.decoded_tokens);
+        assert_eq!(rep.completions.len(), 3);
+        // Every sequence committed exactly once, in admission order.
+        assert_eq!(oracle.commits, vec![0, 1, 2]);
+        // Per-sequence prefill totals equal the unmatched suffix.
+        let mut per_seq = [0u64; 3];
+        for plan in &plans {
+            for &(seq, n) in &plan.prefill {
+                per_seq[seq] += n as u64;
+            }
+        }
+        assert_eq!(per_seq, [100, 40, 1]);
+    }
+
+    #[test]
+    fn null_oracle_reproduces_dense_plan() {
+        let reqs = build(&[(0, 37, 9), (5_000, 120, 3), (9_000, 4, 30)]);
+        let (dense, dense_plans) = scheduler().plan(&reqs);
+        let (rep, plans) = scheduler().plan_with_prefixes(&reqs, &mut NoPrefix);
+        assert_eq!(rep, dense);
+        assert_eq!(plans, dense_plans);
     }
 }
 

@@ -1,9 +1,11 @@
 //! Synthetic serving workloads for the continuous-batching scheduler.
 //!
-//! Four request mixes cover the serving regimes the paper's §8 anticipates
+//! Five request mixes cover the serving regimes the paper's §8 anticipates
 //! ("novel LLM application scenarios"): interactive chat, diurnal chat (a
-//! day of traffic compressed into virtual time), long-context RAG, and
-//! offline batch scoring. All generators are pure functions of an explicit
+//! day of traffic compressed into virtual time), long-context RAG,
+//! offline batch scoring, and shared-prefix chat (a seeded mixture of a
+//! few system prompts with per-user suffixes, the regime the paged KV
+//! radix cache exists for). All generators are pure functions of an explicit
 //! seed — no ambient RNG — so the online serving frontend and the offline
 //! plan replay can regenerate byte-identical arrival traces independently.
 
@@ -16,6 +18,27 @@ use serde::Serialize;
 /// [`WorkloadKind::DiurnalChat`]: the arrival rate completes one full
 /// peak → trough → peak cycle over this span.
 pub const DIURNAL_PERIOD_S: f64 = 120.0;
+
+/// Distinct system prompts mixed by [`WorkloadKind::SharedPrefixChat`].
+pub const SHARED_PREFIX_GROUPS: usize = 4;
+
+/// Length in tokens of group `group`'s system prompt. Groups differ in
+/// length so the prefix cache sees a mixture of block counts.
+pub const fn shared_prefix_len(group: usize) -> u32 {
+    64 + 32 * (group % SHARED_PREFIX_GROUPS) as u32
+}
+
+/// Deterministic token ids of group `group`'s system prompt, drawn below
+/// `vocab`. A pure function of `(seed, group, vocab)`, so the serving
+/// engine, bench harness, and example simulator regenerate identical
+/// shared prefixes without passing token buffers around.
+pub fn shared_prefix_tokens(seed: u64, group: usize, vocab: u32) -> Vec<u32> {
+    let mix = seed ^ (group as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut rng = StdRng::seed_from_u64(mix);
+    (0..shared_prefix_len(group))
+        .map(|_| rng.gen_range(0..vocab.max(1)))
+        .collect()
+}
 
 /// A named request mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -32,6 +55,12 @@ pub enum WorkloadKind {
     /// Everything arrives at t = 0; medium prompts; tiny decodes
     /// (sequence scoring / embedding style).
     OfflineBatch,
+    /// Chat arrivals whose prompts are a seeded mixture of
+    /// [`SHARED_PREFIX_GROUPS`] system prompts plus a short per-user
+    /// suffix — the shared-prefix regime the paged radix KV cache
+    /// deduplicates. Prompt length is `shared_prefix_len(group)` plus
+    /// an 8–64 token suffix.
+    SharedPrefixChat,
 }
 
 /// Workload generator parameters.
@@ -81,6 +110,11 @@ impl WorkloadSpec {
                         (rng.gen_range(4096..32_768), rng.gen_range(64..512))
                     }
                     WorkloadKind::OfflineBatch => (rng.gen_range(256..2048), rng.gen_range(1..8)),
+                    WorkloadKind::SharedPrefixChat => {
+                        let group = rng.gen_range(0..SHARED_PREFIX_GROUPS);
+                        let suffix: u32 = rng.gen_range(8..64);
+                        (shared_prefix_len(group) + suffix, rng.gen_range(32..768))
+                    }
                 };
                 if self.kind != WorkloadKind::OfflineBatch {
                     assert!(self.arrivals_per_s > 0.0, "online mixes need a rate");
@@ -109,7 +143,7 @@ impl WorkloadSpec {
     /// nominal operating point).
     pub fn nominal_context(&self) -> u64 {
         match self.kind {
-            WorkloadKind::Chat | WorkloadKind::DiurnalChat => 2048,
+            WorkloadKind::Chat | WorkloadKind::DiurnalChat | WorkloadKind::SharedPrefixChat => 2048,
             WorkloadKind::RagLongContext => 32_768,
             WorkloadKind::OfflineBatch => 2048,
         }
@@ -131,11 +165,12 @@ mod tests {
         }
     }
 
-    const ALL_KINDS: [WorkloadKind; 4] = [
+    const ALL_KINDS: [WorkloadKind; 5] = [
         WorkloadKind::Chat,
         WorkloadKind::DiurnalChat,
         WorkloadKind::RagLongContext,
         WorkloadKind::OfflineBatch,
+        WorkloadKind::SharedPrefixChat,
     ];
 
     #[test]
@@ -173,7 +208,11 @@ mod tests {
 
     #[test]
     fn chat_arrivals_are_increasing() {
-        for kind in [WorkloadKind::Chat, WorkloadKind::DiurnalChat] {
+        for kind in [
+            WorkloadKind::Chat,
+            WorkloadKind::DiurnalChat,
+            WorkloadKind::SharedPrefixChat,
+        ] {
             let reqs = spec(kind).generate();
             for w in reqs.windows(2) {
                 assert!(w[1].arrival_s_micros >= w[0].arrival_s_micros);
@@ -211,6 +250,49 @@ mod tests {
             "trough gap {trough} not >> peak gap {peak}"
         );
         assert!(s.rate_at(0.0) > s.rate_at(half) * 5.0);
+    }
+
+    #[test]
+    fn shared_prefix_chat_is_deterministic_and_well_formed() {
+        // Same regression shape as `diurnal_trough_slows_arrivals`' sibling
+        // determinism checks: the shared-prefix mixture is a pure function
+        // of the seed, prompt lengths decompose as one of the group prefix
+        // lengths plus an 8–64 token suffix, and every group appears.
+        let s = spec(WorkloadKind::SharedPrefixChat);
+        assert_eq!(s.generate(), s.generate());
+        assert_eq!(s.generate(), s.generate_with_seed(s.seed));
+        assert_ne!(s.generate_with_seed(1), s.generate_with_seed(2));
+
+        let mut groups_seen = [false; SHARED_PREFIX_GROUPS];
+        for r in s.generate() {
+            let group = (0..SHARED_PREFIX_GROUPS).find(|&g| {
+                let p = shared_prefix_len(g);
+                r.prompt_tokens >= p + 8 && r.prompt_tokens < p + 64
+            });
+            // Group lengths are 32 apart and suffixes span 8..64, so the
+            // decomposition is ambiguous between neighbours — but some
+            // group must always explain the length.
+            let g = group.expect("prompt length fits the prefix + suffix mixture");
+            groups_seen[g] = true;
+        }
+        assert!(
+            groups_seen.iter().filter(|&&b| b).count() >= 2,
+            "300 draws hit at least two prompt groups"
+        );
+
+        // The token-id helper is deterministic, seed- and group-sensitive,
+        // and sized to its group.
+        for g in 0..SHARED_PREFIX_GROUPS {
+            let a = shared_prefix_tokens(7, g, 128);
+            assert_eq!(a, shared_prefix_tokens(7, g, 128));
+            assert_eq!(a.len() as u32, shared_prefix_len(g));
+            assert!(a.iter().all(|&t| t < 128));
+            assert_ne!(a, shared_prefix_tokens(8, g, 128));
+        }
+        assert_ne!(
+            shared_prefix_tokens(7, 0, 128)[..],
+            shared_prefix_tokens(7, 1, 128)[..shared_prefix_len(0) as usize]
+        );
     }
 
     #[test]

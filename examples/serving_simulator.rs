@@ -27,14 +27,26 @@
 //! reconcile. Results go to `fault-report.json` for the CI artifact; any
 //! violated invariant aborts the run (the CI smoke step is blocking).
 //!
+//! Part 5 is the *prefix reuse* mode: a sweep over prompt-sharing levels
+//! (0%, 50%, 90% of every prompt shared, system-prompt style) runs the
+//! same traces through the dense engine and the paged radix-cache engine.
+//! Self-checks (abort-on-violation): token streams bit-identical at every
+//! sharing level, and at 90% sharing the cache must cut prefill matvec
+//! work by at least 2x. A budgeted online cell additionally exercises
+//! deterministic LRU eviction. Results go to `prefix-reuse-report.json`
+//! for the CI artifact.
+//!
 //! Run with: `cargo run --release -p hnlpu --example serving_simulator`
 //! (set `HNLPU_SERVE_QUICK=1` for the small smoke configuration).
 
 use hnlpu::llm::fault::{ChaosSpec, FaultPlan};
 use hnlpu::llm::serve::{OnlineServer, SeqState, ServeError, ServeReport};
-use hnlpu::llm::{BatchedDataflowExecutor, DataflowExecutor, SequenceRequest, SloReport};
+use hnlpu::llm::{
+    BatchedDataflowExecutor, DataflowExecutor, PrefixCacheConfig, PrefixStats, SequenceRequest,
+    SloReport,
+};
 use hnlpu::model::{zoo, ModelWeights, WeightGenerator};
-use hnlpu::sim::{BatchScheduler, SimConfig, WorkloadKind, WorkloadSpec};
+use hnlpu::sim::{shared_prefix_tokens, BatchScheduler, SimConfig, WorkloadKind, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -542,6 +554,229 @@ fn fault_sweep(cfg: &SimConfig, quick: bool) {
     );
 }
 
+/// One cell of the prefix-reuse sweep, serialized into the CI artifact.
+#[derive(Serialize)]
+struct PrefixCell {
+    share_label: &'static str,
+    shared_tokens: usize,
+    prompt_tokens: usize,
+    sequences: usize,
+    dense_prefill_tokens: u64,
+    paged_prefill_tokens: u64,
+    prefill_work_saved: f64,
+    prefix: PrefixStats,
+    /// Logical KV footprint peak: shared pages counted once per
+    /// referencing sequence (what dense private copies would occupy).
+    peak_kv_bytes_fp16: u64,
+    /// Physically private peak: pages owned exclusively by residents.
+    /// Committed prompts live in the pool (charged once), so this drops
+    /// on every commit even before anyone reuses the pages.
+    peak_kv_owned_bytes_fp16: u64,
+    /// KV bytes prefix sharing avoided duplicating: every reused
+    /// position is read from the pool instead of a private copy.
+    kv_deduped_bytes_fp16: u64,
+}
+
+/// The budgeted online eviction cell of `prefix-reuse-report.json`.
+#[derive(Serialize)]
+struct EvictionCell {
+    page_budget: usize,
+    completed: usize,
+    prefix: PrefixStats,
+}
+
+/// The `prefix-reuse-report.json` artifact.
+#[derive(Serialize)]
+struct PrefixArtifact {
+    model: String,
+    pipeline_slots: u32,
+    sequences: usize,
+    prompt_tokens: usize,
+    invariants_checked: Vec<&'static str>,
+    cells: Vec<PrefixCell>,
+    budgeted_online: EvictionCell,
+}
+
+fn prefix_reuse_sweep(cfg: &SimConfig, quick: bool) {
+    println!("== prefix reuse: paged KV radix cache vs dense prefill ==");
+    let card = zoo::dataflow_test_model();
+    let weights = ModelWeights::materialize(&card.config, &WeightGenerator::new(7));
+    let vocab = card.config.vocab_size as u32;
+    let scheduler = BatchScheduler::new(cfg.clone(), 2048);
+    let seqs = if quick { 6 } else { 12 };
+    const PROMPT_LEN: usize = 64;
+    let shares: &[(&str, usize)] = &[("share0", 0), ("share50", 32), ("share90", 58)];
+
+    // Every sequence's first `shared` tokens come from one system prompt
+    // (the workload generator's deterministic helper); suffixes are
+    // per-user. Arrivals are staggered so each prompt commits to the
+    // radix tree before the next one is matched.
+    let trace = |shared: usize| -> Vec<SequenceRequest> {
+        let sys = shared_prefix_tokens(7, 0, vocab);
+        (0..seqs)
+            .map(|s| {
+                let mut prompt: Vec<u32> = sys[..shared].to_vec();
+                prompt.extend(
+                    (shared..PROMPT_LEN).map(|i| (s as u32 * 131 + i as u32 * 3 + 17) % vocab),
+                );
+                SequenceRequest::greedy(s as u64 * 2_000_000, prompt, 4)
+            })
+            .collect()
+    };
+    let dense_engine = || {
+        BatchedDataflowExecutor::new(
+            DataflowExecutor::new(weights.clone()),
+            cfg.pipeline_slots() as usize,
+        )
+    };
+
+    println!(
+        "model: {}  |  {} sequences x {}-token prompts, 4 decode tokens each\n",
+        card.name, seqs, PROMPT_LEN
+    );
+    // fp16 bytes one cached position occupies across all layers (K + V).
+    let bytes_per_position = (card.config.num_layers
+        * card.config.attention.num_kv_heads
+        * card.config.attention.head_dim
+        * 2
+        * 2) as u64;
+    println!(
+        "{:>8} {:>7} {:>14} {:>14} {:>11} {:>9} {:>12}",
+        "share", "shared", "dense prefill", "paged prefill", "work saved", "hit rate", "KV dedup B"
+    );
+
+    let mut cells = Vec::new();
+    for &(label, shared) in shares {
+        let requests = trace(shared);
+        let (dense, _) = dense_engine()
+            .run_with_scheduler(&requests, &scheduler)
+            .expect("dense plan executes");
+        let (paged, _) = dense_engine()
+            .with_prefix_cache(PrefixCacheConfig::default())
+            .run_with_scheduler(&requests, &scheduler)
+            .expect("paged plan executes");
+        assert_eq!(
+            dense.outputs, paged.outputs,
+            "[prefix-reuse {label}] paged token streams diverged from dense"
+        );
+        assert_eq!(
+            dense.prefill_tokens.saturating_sub(paged.prefill_tokens),
+            paged.prefix.reused_positions,
+            "[prefix-reuse {label}] saved work must equal reused positions"
+        );
+        let saved = 1.0 - paged.prefill_tokens as f64 / dense.prefill_tokens.max(1) as f64;
+        let hit_rate = paged.prefix.hits as f64 / paged.prefix.lookups.max(1) as f64;
+        let deduped = paged
+            .prefix
+            .reused_positions
+            .saturating_mul(bytes_per_position);
+        println!(
+            "{:>8} {:>7} {:>14} {:>14} {:>10.1}% {:>9.3} {:>12}",
+            label,
+            shared,
+            dense.prefill_tokens,
+            paged.prefill_tokens,
+            saved * 100.0,
+            hit_rate,
+            deduped,
+        );
+        if shared * 10 >= PROMPT_LEN * 9 {
+            assert!(
+                dense.prefill_tokens >= 2 * paged.prefill_tokens,
+                "[prefix-reuse {label}] 90% sharing must cut prefill matvec work >= 2x \
+                 (dense {} vs paged {})",
+                dense.prefill_tokens,
+                paged.prefill_tokens
+            );
+        }
+        cells.push(PrefixCell {
+            share_label: label,
+            shared_tokens: shared,
+            prompt_tokens: PROMPT_LEN,
+            sequences: seqs,
+            dense_prefill_tokens: dense.prefill_tokens,
+            paged_prefill_tokens: paged.prefill_tokens,
+            prefill_work_saved: saved,
+            prefix: paged.prefix,
+            peak_kv_bytes_fp16: paged.peak_kv_bytes_fp16,
+            peak_kv_owned_bytes_fp16: paged.peak_kv_owned_bytes_fp16,
+            kv_deduped_bytes_fp16: deduped,
+        });
+    }
+
+    // Budgeted online cell: the server enforces the configured page
+    // budget (offline planning always runs unbounded), so a tight budget
+    // exercises deterministic cold-prefix LRU eviction under live
+    // admission — still token-exact against the dense online run.
+    let requests = trace(58);
+    let budget = 96;
+    let mut dense_srv = OnlineServer::new(dense_engine(), &scheduler, requests.len())
+        .expect("slots fit the engine pool");
+    let dense_out = dense_srv.run_trace(&requests, &[]);
+    let budgeted = dense_engine().with_prefix_cache(PrefixCacheConfig {
+        page_budget: budget,
+        ..PrefixCacheConfig::default()
+    });
+    let mut server =
+        OnlineServer::new(budgeted, &scheduler, requests.len()).expect("slots fit the engine pool");
+    let outcome = server.run_trace(&requests, &[]);
+    for (out, base) in outcome
+        .report
+        .outcomes
+        .iter()
+        .zip(&dense_out.report.outcomes)
+    {
+        assert_eq!(
+            out.state,
+            SeqState::Finished,
+            "[prefix-reuse online] unfinished"
+        );
+        assert_eq!(
+            out.tokens, base.tokens,
+            "[prefix-reuse online] budgeted paged stream diverged from dense"
+        );
+    }
+    let stats = outcome.report.slo.prefix;
+    assert!(
+        stats.evicted_pages > 0,
+        "[prefix-reuse online] tight budget must evict cold prefixes"
+    );
+    println!(
+        "\nonline, page budget {budget}: {} completed, {} hits / {} lookups, \
+         {} pages evicted (LRU, deterministic)",
+        outcome.report.slo.completed, stats.hits, stats.lookups, stats.evicted_pages
+    );
+
+    let artifact = PrefixArtifact {
+        model: card.name.to_string(),
+        pipeline_slots: cfg.pipeline_slots(),
+        sequences: seqs,
+        prompt_tokens: PROMPT_LEN,
+        invariants_checked: vec![
+            "paged token streams bit-identical to dense at every sharing level",
+            "prefill tokens saved == radix-cache reused positions",
+            ">= 2x prefill matvec work reduction at 90% sharing",
+            "budgeted online run token-exact with evictions > 0",
+        ],
+        cells,
+        budgeted_online: EvictionCell {
+            page_budget: budget,
+            completed: outcome.report.slo.completed,
+            prefix: stats,
+        },
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("report serializes");
+    std::fs::write("prefix-reuse-report.json", json).expect("report file writes");
+    println!(
+        "\nShared system prompts are matched block-granular (16 positions) in\n\
+         the radix tree, charged only for their unmatched suffix by the\n\
+         scheduler, and read through refcounted shared pages at decode —\n\
+         every invariant above is asserted before this line prints, and\n\
+         property-tested in tests/tests/paged_prefix_differential.rs.\n\
+         Wrote prefix-reuse-report.json."
+    );
+}
+
 impl Scenario {
     /// The combined scenario shrunk for the quick CI smoke: same mix, one
     /// chip kill fewer so the 48-request trace still completes work.
@@ -567,4 +802,6 @@ fn main() {
     online_serving_run(&cfg, quick);
     println!();
     fault_sweep(&cfg, quick);
+    println!();
+    prefix_reuse_sweep(&cfg, quick);
 }

@@ -13,7 +13,7 @@
 
 #![cfg(feature = "count-alloc")]
 
-use hnlpu::llm::DataflowExecutor;
+use hnlpu::llm::{DataflowExecutor, PrefixCache, PrefixCacheConfig};
 use hnlpu::model::{zoo, ModelWeights, WeightGenerator};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -91,6 +91,82 @@ fn steady_state_decode_performs_zero_allocations() {
         "steady-state decode allocated {} times over {MEASURED_STEPS} steps",
         after - before
     );
+}
+
+/// The paged twin of the sentinel above: a sequence that *hit* the
+/// prefix cache decodes through shared, refcounted pages (indirect page
+/// lookup in `key`/`value`) — and the steady-state loop still performs
+/// exactly zero heap allocations. Attach-time work (boundary-block
+/// copy-on-write, page table growth) happens before the measured window,
+/// exactly as it does at admission in the serving layer.
+#[test]
+fn prefix_hit_decode_through_shared_pages_performs_zero_allocations() {
+    const WARMUP_STEPS: usize = 4;
+    const MEASURED_STEPS: usize = 16;
+
+    // Three full 16-token blocks; the cache caps the match at 47 so the
+    // final token is prefilled by the reader itself.
+    let prompt: Vec<u32> = (0..48u32).map(|i| (i * 11 + 5) % 96).collect();
+
+    let card = zoo::dataflow_test_model();
+    let weights = ModelWeights::materialize(&card.config, &WeightGenerator::new(42));
+    let engine = DataflowExecutor::new(weights);
+
+    // Donor sequence: prefill the whole prompt, then commit its full
+    // blocks into a prefix cache (freezing them into shared pages).
+    let mut cache = PrefixCache::new(PrefixCacheConfig::default());
+    let mut donor_grant = Vec::new();
+    {
+        let mut donor = engine.new_state();
+        let mut scratch = engine.new_scratch();
+        donor.reserve_context(prompt.len());
+        scratch.reserve_context(prompt.len());
+        for &t in &prompt {
+            engine.step_with(t, &mut donor, &mut scratch);
+        }
+        cache.commit(&prompt, |b| donor.share_block(b), &mut donor_grant);
+    }
+
+    // Reader sequence: attach the cached prefix and decode through it.
+    let m = cache.match_prompt(&prompt);
+    assert_eq!(m.matched, prompt.len() - 1, "full-block prefix hit");
+    let mut grant = Vec::new();
+    cache.retain_match(&m, &mut grant);
+
+    let mut state = engine.new_state();
+    let mut scratch = engine.new_scratch();
+    state.attach_prefix(m.matched, &m.blocks, cache.pool());
+    let horizon = prompt.len() + WARMUP_STEPS + MEASURED_STEPS;
+    state.reserve_context(horizon);
+    scratch.reserve_context(horizon);
+
+    // Prefill the unmatched final token, then warm up the decode loop.
+    let mut token = *prompt.last().expect("non-empty prompt");
+    engine.step_with(token, &mut state, &mut scratch);
+    for _ in 0..WARMUP_STEPS {
+        engine.step_with(token, &mut state, &mut scratch);
+        token = argmax(scratch.logits());
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..MEASURED_STEPS {
+        engine.step_with(token, &mut state, &mut scratch);
+        token = argmax(scratch.logits());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "shared-page decode allocated {} times over {MEASURED_STEPS} steps",
+        after - before
+    );
+
+    // The grant ledger still balances after the measured run.
+    cache.release_grant(&mut grant);
+    cache.release_grant(&mut donor_grant);
+    cache.flush();
+    assert!(cache.ledger_balanced(), "every page freed exactly once");
 }
 
 /// Greedy next token without allocating.
